@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Heavy harness benchmarks run once (``pedantic`` with one round) — they are
+experiment regenerators, not microbenchmarks; their value is the printed
+table plus the recorded wall time.  Kernel microbenchmarks use normal
+pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

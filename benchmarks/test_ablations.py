@@ -1,0 +1,56 @@
+"""Design-choice ablation sweeps (beyond the paper's printed tables)."""
+
+from repro.harness import ablations
+
+
+def test_ablations_full(benchmark, once):
+    res = once(benchmark, ablations.run, False)
+
+    # SAS threshold: the LUT stays tiny (register-resident) at the paper's
+    # -6, and the truncated softmax mass is already < 1% there.
+    by_thr = {p.threshold: p for p in res["sas_threshold"]}
+    assert by_thr[-6].lut_bytes <= 16
+    assert by_thr[-6].truncation_mass < 0.01
+    # Accuracy is threshold-robust in this regime (within a few points).
+    accs = [p.accuracy for p in res["sas_threshold"]]
+    assert max(accs) - min(accs) < 0.05
+
+    # Buffer size: accuracy is insensitive (the buffer is exact INT8);
+    # memory grows linearly.
+    accs = [p.accuracy for p in res["buffer_size"]]
+    assert max(accs) - min(accs) < 0.05
+    sizes = [p.max_buffer_bits for p in res["buffer_size"]]
+    assert sizes == sorted(sizes)
+
+    # Two-bit fraction: a real accuracy/compression frontier — bits fall
+    # and accuracy falls monotonically (small tolerance for noise).
+    frontier = sorted(res["two_bit_fraction"], key=lambda p: p.fraction)
+    bits = [p.effective_bits for p in frontier]
+    assert all(a > b for a, b in zip(bits, bits[1:]))
+    assert frontier[0].accuracy >= frontier[-1].accuracy
+    # The paper's 0.5 keeps most of the accuracy at ~3.7 bits.
+    mid = next(p for p in frontier if p.fraction == 0.5)
+    assert mid.accuracy > frontier[-1].accuracy
+
+    # Polynomial degree: error drops ~10x per degree; degree 3 is the
+    # knee where error (<5e-4) is already below the INT8 quantization
+    # noise floor while costing only 3 FMAs.
+    by_deg = {p.degree: p for p in res["poly_degree"]}
+    assert by_deg[3].max_error < 5e-4
+    assert by_deg[2].max_error > 10 * by_deg[3].max_error
+
+    print()
+    ablations.main(quick=False)
+
+
+def test_int8_vs_fp8(benchmark, once):
+    """FlashQ's INT8 stage vs an FP8-E4M3 flash pipeline (FA3-style)."""
+    from repro.harness.ablations import sweep_int8_vs_fp8
+
+    points = once(benchmark, sweep_int8_vs_fp8, False)
+    by = {p.method: p for p in points}
+    # Turbo INT8+4bit matches or beats FP8 accuracy at ~half the bits.
+    assert by["turbo_int8_4bit"].accuracy >= by["fp8_e4m3"].accuracy - 0.01
+    assert by["turbo_int8_4bit"].effective_bits < 0.6 * by["fp8_e4m3"].effective_bits
+    # FP8 itself is a strong method (near-lossless at ~8.7 bits).
+    assert by["fp8_e4m3"].accuracy > 0.95

@@ -1,0 +1,19 @@
+"""Figure 10 regenerator: channel-wise vs token-wise quantization error."""
+
+from repro.harness import fig10
+
+
+def test_fig10_full(benchmark, once):
+    rows = once(benchmark, fig10.run, False)
+    # Channel-wise group quantization has strictly lower error on every
+    # model and bit-width (the paper's Figure 10 conclusion).
+    for r in rows:
+        assert r.channelwise_error < r.tokenwise_error
+    # Error shrinks with bits, both layouts.
+    by = {(r.model, r.bits): r for r in rows}
+    for model in ("llama3ish", "qwen2ish", "phi3ish"):
+        assert by[(model, 4)].channelwise_error < by[(model, 2)].channelwise_error
+        assert by[(model, 4)].tokenwise_error < by[(model, 2)].tokenwise_error
+
+    print()
+    fig10.main(quick=False)

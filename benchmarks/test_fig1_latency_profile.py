@@ -1,0 +1,26 @@
+"""Figure 1 regenerator: latency profile panels (a), (b), (c)."""
+
+from repro.harness import fig1
+
+
+def test_fig1_full(benchmark, once):
+    res = once(benchmark, fig1.run, False)
+
+    # (a) attention share grows monotonically and reaches ~80% at ~100k.
+    shares = [p.attention_share for p in res["fig1a"]]
+    assert all(a < b for a, b in zip(shares, shares[1:]))
+    assert shares[-1] > 0.7
+
+    # (b) decode kernel: fp16 memory-bound; kivi/gear dominated by the
+    # dequantization pipeline; turbo cheaper overall.
+    assert res["fig1b"]["fp16"]["load_kv"] > 0.7
+    assert res["fig1b"]["kivi4"]["dequant"] > 0.3
+    assert res["fig1b"]["gear4"]["dequant"] > 0.3
+    assert res["fig1b"]["turbo_mixed"]["total_us"] < res["fig1b"]["fp16"]["total_us"]
+
+    # (c) end-to-end: turbo < fp16 < kivi <= gear.
+    totals = {m: d["total_s"] for m, d in res["fig1c"].items()}
+    assert totals["turbo_mixed"] < totals["fp16"] < totals["kivi4"] <= totals["gear4"] * 1.01
+
+    print()
+    fig1.main(quick=False)

@@ -1,0 +1,29 @@
+"""Figures 4/8/9 regenerator: Q/K/V channel statistics."""
+
+from repro.harness import fig4
+
+
+def test_fig4_full(benchmark, once):
+    res = once(benchmark, fig4.run, False)
+
+    for model in ("llama3ish", "qwen2ish", "phi3ish"):
+        # Q/K carry heavy channel outliers on every model (Figure 4).
+        assert res[model]["q_channel"].outlier_ratio > 3.0
+        assert res[model]["k_channel"].outlier_ratio > 3.0
+
+    # Phi3's value cache has the strongest channel outliers (Figure 9),
+    # stronger than LLaMA3's (Figure 8).
+    assert (
+        res["phi3ish"]["v_channel"].outlier_ratio
+        > res["llama3ish"]["v_channel"].outlier_ratio
+    )
+    # Channel-axis outlier structure exceeds token-axis structure for
+    # values — the premise of channel-wise quantization (Appendix D).
+    for model in ("llama3ish", "qwen2ish", "phi3ish"):
+        assert (
+            res[model]["v_channel"].outlier_ratio
+            > res[model]["v_token"].outlier_ratio
+        )
+
+    print()
+    fig4.main(quick=False)

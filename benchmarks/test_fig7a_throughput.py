@@ -1,0 +1,30 @@
+"""Figure 7a regenerator: throughput vs batch with OOM cutoffs."""
+
+from repro.harness import fig7a
+
+
+def test_fig7a_full(benchmark, once):
+    res = once(benchmark, fig7a.run, False)
+
+    best = {m: p for m, p in res.best.items()}
+    # Ordering: turbo > kivi/gear > fp16 (paper Figure 7a).
+    assert best["turbo_mixed"].tokens_per_second > best["kivi4"].tokens_per_second
+    assert best["turbo4"].tokens_per_second > best["gear4"].tokens_per_second
+    assert best["kivi4"].tokens_per_second > best["fp16"].tokens_per_second
+
+    # Maximum-throughput gain in the paper's direction (2.37x reported;
+    # our calibrated model lands ~1.8-2.1x).
+    ratio = best["turbo_mixed"].tokens_per_second / best["fp16"].tokens_per_second
+    assert 1.6 < ratio < 2.6
+
+    # Compressed methods sustain much larger batches before OOM.
+    assert best["turbo_mixed"].batch > 4 * best["fp16"].batch
+
+    # Throughput curves are monotone in batch until OOM.
+    for name, curve in res.curves.items():
+        feasible = [p for p in curve if not p.oom]
+        tps = [p.tokens_per_second for p in feasible]
+        assert all(a <= b * 1.02 for a, b in zip(tps, tps[1:]))
+
+    print()
+    fig7a.main(quick=False)

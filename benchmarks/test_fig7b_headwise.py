@@ -1,0 +1,28 @@
+"""Figure 7b regenerator: head-selection strategy ablation."""
+
+import numpy as np
+
+from repro.harness import fig7b
+
+
+def test_fig7b_full(benchmark, once):
+    points = once(benchmark, fig7b.run, False)
+    by = {(p.method, p.n_two_bit): p for p in points}
+    counts = sorted({p.n_two_bit for p in points})
+    interior = counts[1:-1]  # end points are identical across methods
+
+    # Cache reconstruction error: the paper's priority metric is at least
+    # as good as entropy and random everywhere, strictly better on average.
+    for n in interior:
+        assert by[("priority", n)].cache_error <= by[("entropy", n)].cache_error + 1e-9
+        assert by[("priority", n)].cache_error <= by[("random", n)].cache_error + 1e-9
+    pri = np.mean([by[("priority", n)].cache_error for n in interior])
+    ent = np.mean([by[("entropy", n)].cache_error for n in interior])
+    assert pri < ent
+
+    # Accuracy degrades as more heads are pushed to 2-bit.
+    pri_acc = [by[("priority", n)].accuracy for n in counts]
+    assert pri_acc[0] > pri_acc[-1]
+
+    print()
+    fig7b.main(quick=False)

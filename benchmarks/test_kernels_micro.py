@@ -1,0 +1,76 @@
+"""Microbenchmarks of the NumPy kernels themselves.
+
+These time *our implementations* (not the modelled GPU): flash attention
+vs turbo prefill vs reference, SAS vs np.exp, progressive compression, and
+the decode step.  Useful for tracking implementation regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attention.flash import flash_attention
+from repro.attention.reference import reference_attention
+from repro.core import TurboAttention, TurboConfig
+from repro.core.prefill import turbo_prefill
+from repro.quant.progressive import pq_compress, pq_decompress_to_int8
+from repro.sas.softmax import SAS
+
+
+@pytest.fixture(scope="module")
+def qkv():
+    rng = np.random.default_rng(0)
+    h, n, d = 8, 512, 64
+    return tuple(rng.standard_normal((h, n, d)) for _ in range(3))
+
+
+def test_reference_attention(benchmark, qkv):
+    q, k, v = qkv
+    benchmark(reference_attention, q, k, v)
+
+
+def test_flash_attention(benchmark, qkv):
+    q, k, v = qkv
+    benchmark(flash_attention, q, k, v, causal=True)
+
+
+def test_turbo_prefill_kernel(benchmark, qkv):
+    q, k, v = qkv
+    cfg = TurboConfig()
+    bits = np.full(8, 4, dtype=np.int32)
+    benchmark(turbo_prefill, q, k, v, cfg, bits, True)
+
+
+def test_turbo_decode_step(benchmark, qkv):
+    rng = np.random.default_rng(1)
+    q, k, v = qkv
+    turbo = TurboAttention(TurboConfig())
+    _, state = turbo.prefill(q, k, v)
+    q1, k1, v1 = (rng.standard_normal((8, 64)) for _ in range(3))
+    benchmark(turbo.decode_step, q1, k1, v1, state)
+
+
+def test_sas_exp(benchmark):
+    rng = np.random.default_rng(2)
+    x = -rng.uniform(0, 6, size=(64, 4096))
+    sas = SAS()
+    benchmark(sas, x)
+
+
+def test_numpy_exp_baseline(benchmark):
+    rng = np.random.default_rng(2)
+    x = -rng.uniform(0, 6, size=(64, 4096))
+    benchmark(np.exp, x)
+
+
+def test_pq_compress(benchmark):
+    rng = np.random.default_rng(3)
+    codes = rng.integers(-119, 120, size=(8, 64, 64)).astype(np.int8)
+    scale = np.ones((8, 1, 1))
+    benchmark(pq_compress, codes, 4, scale)
+
+
+def test_pq_decompress(benchmark):
+    rng = np.random.default_rng(3)
+    codes = rng.integers(-119, 120, size=(8, 64, 64)).astype(np.int8)
+    block = pq_compress(codes, 4, np.ones((8, 1, 1)))
+    benchmark(pq_decompress_to_int8, block)

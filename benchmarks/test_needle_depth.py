@@ -1,0 +1,32 @@
+"""Needle-in-a-haystack depth sweep benchmark (extension experiment)."""
+
+import numpy as np
+
+from repro.harness import needle
+
+
+def test_needle_full(benchmark, once):
+    res = once(benchmark, needle.run, False)
+
+    # FP16 flat at 100%.
+    assert all(r.accuracy == 1.0 for r in res["fp16"])
+
+    mean = lambda name: float(np.mean([r.accuracy for r in res[name]]))
+    body = lambda name: float(
+        np.mean([r.accuracy for r in res[name] if r.depth <= 0.75])
+    )
+    tail = lambda name: res[name][-1].accuracy  # depth 1.0
+
+    # Turbo dominates KIVI at matched bit-widths.
+    assert mean("turbo_2bit") > mean("kivi_2bit")
+    assert mean("turbo_mixed") > mean("kivi_4bit") * 0.95
+
+    # Recency structure: each compressed method reads its freshest window
+    # at higher fidelity than the compressed body.
+    assert tail("kivi_2bit") >= body("kivi_2bit")
+    assert tail("turbo_2bit") >= body("turbo_2bit")
+    # The turbo tail (INT8 buffer) is effectively lossless.
+    assert tail("turbo_2bit") >= 0.95
+
+    print()
+    needle.main(quick=False)

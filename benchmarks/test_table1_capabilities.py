@@ -1,0 +1,15 @@
+"""Table 1 regenerator: capability matrix (static, consistency-checked)."""
+
+from repro.harness import table1
+
+
+def test_table1(benchmark, once):
+    rows = once(benchmark, table1.run, False)
+    techniques = [r[0] for r in rows]
+    assert "TurboAttention" in techniques and "FlashAttention" in techniques
+    turbo = next(r for r in rows if r[0] == "TurboAttention")
+    assert turbo[2] == "yes"  # KV compression
+    assert "Quantized" in turbo[3]  # quantized attention execution
+
+    print()
+    table1.main()

@@ -1,0 +1,40 @@
+"""Table 2 regenerator: CoT-style retrieval accuracy across models/methods.
+
+Runs the full-size table (paper prompt lengths, 256 decode hops) once and
+asserts the paper's qualitative findings before printing the table.
+"""
+
+import numpy as np
+
+from repro.harness import table2
+
+
+def test_table2_full(benchmark, once):
+    cells = once(benchmark, table2.run, False)
+
+    avg = lambda m: float(np.mean([c.accuracy for c in cells if c.method == m]))
+    bits = lambda m: float(np.mean([c.effective_bits for c in cells if c.method == m]))
+
+    # FP16 solves every task; Turbo-4bit is near-lossless.
+    assert avg("fp16") == 1.0
+    assert avg("turbo_4bit") > 0.97
+
+    # Paper rank order, 4-bit group: Turbo > GEAR > KIVI.
+    assert avg("turbo_4bit") >= avg("gear_4bit") >= avg("kivi_4bit")
+    # 3-bit group: Turbo-mixed > GEAR-3 > KIVI-3.
+    assert avg("turbo_mixed") >= avg("gear_3bit") * 0.98
+    assert avg("turbo_mixed") > avg("kivi_3bit")
+
+    # And Turbo achieves that with the fewest stored bits.
+    assert bits("turbo_4bit") < bits("kivi_4bit") < bits("gear_4bit")
+    assert bits("turbo_mixed") < bits("kivi_3bit")
+
+    print()
+    print(table2.render_table(
+        ["method", "avg acc %", "avg bits"],
+        [
+            [m, f"{avg(m) * 100:.1f}", f"{bits(m):.2f}"]
+            for m in sorted({c.method for c in cells})
+        ],
+        title="Table 2 summary (full run)",
+    ))

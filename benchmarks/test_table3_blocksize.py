@@ -1,0 +1,19 @@
+"""Table 3 regenerator: block-size robustness ablation."""
+
+from repro.harness import table3
+
+
+def test_table3_full(benchmark, once):
+    rows = once(benchmark, table3.run, False)
+    accs = [r.accuracy for r in rows]
+    # Paper: accuracy varies by < 0.5 points across block sizes.
+    assert max(accs) - min(accs) < 0.03
+    assert min(accs) > 0.95
+    # Cache metadata shrinks as B_c grows (fewer tile scales).
+    by_bc = {}
+    for r in rows:
+        by_bc.setdefault(r.block_k, r.effective_bits)
+    assert by_bc[128] <= by_bc[64] <= by_bc[32]
+
+    print()
+    table3.main(quick=False)

@@ -1,0 +1,18 @@
+"""Table 4 regenerator: FlashQ vs SAS accuracy isolation."""
+
+from repro.harness import table4
+
+
+def test_table4_full(benchmark, once):
+    rows = {r.method: r.accuracy for r in once(benchmark, table4.run, False)}
+    # Paper Appendix C: both components individually near-lossless, the
+    # combination slightly additive (FP16 50.79 -> FlashQ 49.60 ->
+    # SAS 50.12 -> both 48.03 on AQuA).
+    assert rows["fp16"] == 1.0
+    assert rows["sas"] >= 0.98
+    assert rows["flashq_4bit"] >= 0.95
+    assert rows["flashq_4bit+sas"] >= 0.93
+    assert rows["flashq_4bit+sas"] <= rows["sas"] + 1e-9
+
+    print()
+    table4.main(quick=False)

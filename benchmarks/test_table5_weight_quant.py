@@ -1,0 +1,20 @@
+"""Table 5 regenerator: composition with weight quantization."""
+
+from repro.harness import table5
+
+
+def test_table5_full(benchmark, once):
+    rows = {r.method: r for r in once(benchmark, table5.run, False)}
+
+    assert rows["fp16"].agreement == 1.0
+    # Weight quantization alone keeps logits high-fidelity.
+    assert rows["llm_int8"].logit_cosine > 0.95
+    # Composition is graceful: combined KL stays within 2x the sum of the
+    # individual degradations (no destructive interaction).
+    for scheme in ("llm_int8", "qserve_w4a8"):
+        combined = rows[f"{scheme}+turbo"].logit_kl
+        parts = rows[scheme].logit_kl + rows["turbo_only"].logit_kl
+        assert combined < 2.0 * parts + 1e-6
+
+    print()
+    table5.main(quick=False)

@@ -1,0 +1,64 @@
+"""End-to-end generation through the transformer substrate.
+
+Builds the LLaMA3-like NumPy transformer twice — once with the exact FP16
+attention backend, once with TurboAttention — generates from the same
+prompt, and reports per-step fidelity (teacher-forced agreement and logit
+divergence) plus the KV memory each run held.
+
+    python examples/llm_generation.py [--model llama3ish] [--tokens 48]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import TurboAttention, TurboConfig
+from repro.harness.common import render_table
+from repro.models import MODEL_PRESETS, TransformerLM, generate
+from repro.models.generation import forced_decode, logit_divergence, token_agreement
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama3ish", choices=sorted(MODEL_PRESETS))
+    parser.add_argument("--tokens", type=int, default=48)
+    args = parser.parse_args()
+
+    cfg = MODEL_PRESETS[args.model]
+    rng = np.random.default_rng(7)
+    prompt = rng.integers(0, cfg.vocab_size, size=96)
+
+    reference = TransformerLM(cfg)
+    trajectory = generate(reference, prompt, args.tokens).tokens
+    ref = forced_decode(reference, prompt, trajectory, keep_logits=True)
+    ref_kv_bits = reference.kv_storage_bits
+
+    rows = []
+    for name, factory in [
+        ("turbo 4-bit", lambda: TurboAttention(TurboConfig(kv_bits=4))),
+        ("turbo mixed 2/4", lambda: TurboAttention(TurboConfig(mixed_precision=True))),
+        ("turbo 2-bit", lambda: TurboAttention(TurboConfig(kv_bits=2))),
+    ]:
+        candidate = TransformerLM(cfg, attention_factory=factory)
+        cand = forced_decode(candidate, prompt, trajectory, keep_logits=True)
+        rows.append([
+            name,
+            f"{token_agreement(ref.tokens, cand.tokens) * 100:.1f}",
+            f"{logit_divergence(ref.logits, cand.logits):.4f}",
+            f"{ref_kv_bits / candidate.kv_storage_bits:.2f}x",
+        ])
+
+    print(f"model={cfg.name}: {cfg.n_layers} layers, {cfg.n_heads} heads "
+          f"({cfg.n_kv_heads} KV), d={cfg.d_model}")
+    print(f"prompt 96 tokens, {args.tokens} generated; "
+          f"reference KV = {ref_kv_bits / 8 / 1024:.1f} KiB\n")
+    print(render_table(
+        ["backend", "token agreement %", "logit KL", "KV compression"], rows,
+        title="Generation fidelity vs the FP16 backend (teacher-forced)",
+    ))
+    print("\nNote: the substrate uses random weights, so greedy tokens flip on"
+          "\ntiny logit margins; logit KL is the faithful fidelity signal here.")
+
+
+if __name__ == "__main__":
+    main()

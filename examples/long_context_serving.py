@@ -1,0 +1,76 @@
+"""Capacity-plan a long-context serving deployment with the cost model.
+
+Answers the questions an inference engineer asks before adopting a KV
+compression scheme on one A100-80GB with a Phi3-medium-class model:
+
+* how far does the context reach before OOM, per method?
+* what is the attention speedup at my batch/context point?
+* what is the best sustainable throughput for a chat workload?
+
+    python examples/long_context_serving.py
+"""
+
+from repro.harness.common import render_table
+from repro.perf import METHODS, ModelGeometry, attention_latency, max_throughput
+from repro.perf.memory import paper_memory_model
+
+CONTEXTS = (4096, 8192, 16384, 32768, 65536)
+SHOW = ("fp16", "kivi4", "gear4", "turbo4", "turbo_mixed")
+
+
+def main() -> None:
+    model = ModelGeometry.phi3_medium()
+    mem = paper_memory_model(model)
+
+    # --- context reach at batch 4 ---------------------------------------
+    rows = []
+    for name in SHOW:
+        spec = METHODS[name]
+        rows.append([
+            name,
+            f"{spec.kv_bits:.1f}",
+            f"{mem.max_context(spec, 4):,}",
+            f"{mem.max_batch(spec, 8192)}",
+        ])
+    print(render_table(
+        ["method", "KV bits", "max context @ batch 4", "max batch @ 8k"], rows,
+        title="Memory reach (A100-80GB, Phi3-medium-class)",
+    ))
+
+    # --- decode latency sweep --------------------------------------------
+    rows = []
+    for ctx in CONTEXTS:
+        geom = model.attention_geometry(4, 1, ctx)
+        base = attention_latency(METHODS["fp16"], geom, prefill=False)
+        row = [f"{ctx:,}"]
+        for name in SHOW:
+            if not mem.fits(METHODS[name], 4, ctx):
+                row.append("OOM")
+                continue
+            lat = attention_latency(METHODS[name], geom, prefill=False)
+            row.append(f"{lat * 1e3:.2f}ms ({base / lat:.2f}x)")
+        rows.append(row)
+    print()
+    print(render_table(
+        ["context"] + list(SHOW), rows,
+        title="Decode attention latency per step, batch 4 (speedup vs FP16)",
+    ))
+
+    # --- chat-workload throughput ----------------------------------------
+    rows = []
+    base = max_throughput(METHODS["fp16"], model, 1024, 125, memory=mem)
+    for name in SHOW:
+        p = max_throughput(METHODS[name], model, 1024, 125, memory=mem)
+        rows.append([
+            name, p.batch, f"{p.tokens_per_second:.0f}",
+            f"{p.tokens_per_second / base.tokens_per_second:.2f}x",
+        ])
+    print()
+    print(render_table(
+        ["method", "best batch", "tokens/s", "vs fp16"], rows,
+        title="Max throughput, 1k prompt + 125 generated",
+    ))
+
+
+if __name__ == "__main__":
+    main()

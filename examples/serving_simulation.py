@@ -1,0 +1,63 @@
+"""Serve a live request stream under different KV-cache schemes.
+
+Simulates a production chat deployment (Phi3-medium-class model, one
+A100-80GB) receiving Poisson request traffic, with continuous batching and
+a paged KV allocator.  Compare how each attention method holds up as the
+arrival rate climbs past what the FP16 cache can absorb.
+
+    python examples/serving_simulation.py [--rate 6.0] [--requests 80]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.harness.common import render_table
+from repro.perf import METHODS, ModelGeometry
+from repro.serving import ServingEngine, poisson_workload
+
+SHOW = ("fp16", "kivi4", "gear4", "turbo_mixed")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=6.0, help="requests/second")
+    parser.add_argument("--requests", type=int, default=80)
+    args = parser.parse_args()
+
+    model = ModelGeometry.phi3_medium()
+    workload = poisson_workload(
+        args.requests, arrival_rate=args.rate, rng=np.random.default_rng(7)
+    )
+    total_tokens = sum(r.gen_len for r in workload)
+    print(
+        f"workload: {args.requests} requests @ {args.rate}/s, "
+        f"{total_tokens} output tokens, prompts 512-1536\n"
+    )
+
+    rows = []
+    for name in SHOW:
+        engine = ServingEngine(model, METHODS[name])
+        m = engine.run(workload)
+        rows.append([
+            name,
+            f"{m.throughput_tokens_per_s:.0f}",
+            f"{m.mean_ttft:.2f}",
+            f"{m.p95_ttft:.2f}",
+            f"{m.p95_tpot * 1e3:.0f}",
+            m.preemptions,
+            f"{engine.allocator.utilization * 100:.0f}%",
+        ])
+    print(render_table(
+        ["method", "tok/s", "mean TTFT (s)", "p95 TTFT (s)", "p95 TPOT (ms)",
+         "preemptions", "final KV util"],
+        rows,
+        title="Open-system serving comparison",
+    ))
+    print("\nThe compressed caches keep admission latency flat where the FP16"
+          "\ncache is forced to queue and preempt — the serving-level payoff of"
+          "\nthe paper's >4.4x KV compression.")
+
+
+if __name__ == "__main__":
+    main()

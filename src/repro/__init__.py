@@ -1,0 +1,43 @@
+"""TurboAttention (MLSys 2025) reproduction.
+
+A from-scratch, NumPy-based implementation of *TurboAttention: Efficient
+Attention Approximation for High Throughputs LLMs* — FlashQ blockwise
+progressive quantization, head-wise mixed precision, the enhanced decode
+buffer, and SAS (Sparse Activated Softmax) — together with the baselines it
+is evaluated against (FlashAttention, KIVI, GEAR-L), a small transformer
+substrate, synthetic long-range-retrieval tasks, and an analytical A100
+performance model that regenerates the paper's latency/throughput figures.
+
+Quick start::
+
+    import numpy as np
+    from repro import TurboAttention, TurboConfig
+
+    rng = np.random.default_rng(0)
+    h, n, d = 8, 512, 64
+    q, k, v = (rng.standard_normal((h, n, d)) for _ in range(3))
+
+    turbo = TurboAttention(TurboConfig(mixed_precision=True))
+    out, state = turbo.prefill(q, k, v)           # quantized prefill
+    q1, k1, v1 = (rng.standard_normal((h, d)) for _ in range(3))
+    out_t = turbo.decode_step(q1, k1, v1, state)  # quantized decode
+    print(state.compression_ratio())              # ~4-7x vs FP16
+"""
+
+from repro.core import TurboAttention, TurboConfig, TurboKVState
+from repro.sas import SAS, SASConfig, sas_softmax
+from repro.attention import flash_attention, reference_attention
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TurboAttention",
+    "TurboConfig",
+    "TurboKVState",
+    "SAS",
+    "SASConfig",
+    "sas_softmax",
+    "flash_attention",
+    "reference_attention",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Attention substrate: exact reference, online softmax, flash attention.
+
+These are the baselines TurboAttention is built on and compared against:
+
+* :mod:`repro.attention.reference` — vanilla softmax attention (Eq. 2).
+* :mod:`repro.attention.online_softmax` — the single-pass normalizer of
+  Milakov & Gimelshein (2018) that flash attention fuses over tiles.
+* :mod:`repro.attention.flash` — tiled FlashAttention (Dao et al., 2022)
+  with optional FP16 storage emulation; exact w.r.t. the reference.
+* :mod:`repro.attention.masks` — causal and padding masks.
+"""
+
+from repro.attention.reference import reference_attention, softmax
+from repro.attention.online_softmax import OnlineSoftmaxState, online_softmax
+from repro.attention.flash import flash_attention
+from repro.attention.masks import causal_mask, NEG_INF
+from repro.attention.split_k import merge_partials, split_k_decode
+
+__all__ = [
+    "reference_attention",
+    "softmax",
+    "OnlineSoftmaxState",
+    "online_softmax",
+    "flash_attention",
+    "causal_mask",
+    "NEG_INF",
+    "merge_partials",
+    "split_k_decode",
+]

@@ -1,0 +1,94 @@
+"""Tiled FlashAttention (Dao et al., 2022) — the FP16 baseline kernel.
+
+Processes the key/value sequence in tiles of ``block_k`` and query rows in
+tiles of ``block_q``, fusing the three steps of Eq. 2 with the online
+softmax so no ``n_q x n_k`` intermediate is ever materialized.
+
+Two numeric modes:
+
+* ``emulate_fp16=False`` (default) — float64 throughout; bitwise-comparable
+  to the reference up to associativity, used for algorithm testing.
+* ``emulate_fp16=True`` — Q/K/V and the probability tile are rounded to
+  FP16 before each MatMul (FP32 accumulation), and the exponentiation runs
+  in FP32, mirroring the stock FlashAttention precision recipe the paper
+  describes in §2.2 (MatMuls on FP16 tensor cores, exp on FP32 CUDA cores).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attention.masks import causal_mask_block
+from repro.attention.online_softmax import OnlineSoftmaxState
+from repro.fp.formats import fp16_matmul
+
+__all__ = ["flash_attention"]
+
+
+def _fp32_exp(x: np.ndarray) -> np.ndarray:
+    """FP32 exponentiation (what stock FlashAttention uses on CUDA cores)."""
+    return np.exp(x.astype(np.float32)).astype(np.float64)
+
+
+def flash_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    block_q: int = 64,
+    block_k: int = 64,
+    causal: bool = False,
+    scale: Optional[float] = None,
+    emulate_fp16: bool = False,
+    return_lse: bool = False,
+):
+    """Tiled flash attention over ``(..., n, d)`` tensors.
+
+    Parameters mirror :func:`repro.attention.reference.reference_attention`;
+    ``block_q``/``block_k`` are the tile sizes ``B_r``/``B_c`` and ``causal``
+    applies the decode-aligned causal mask.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    n_q, d = q.shape[-2], q.shape[-1]
+    n_k = k.shape[-2]
+    d_v = v.shape[-1]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    offset = n_k - n_q
+
+    matmul = fp16_matmul if emulate_fp16 else (lambda a, b: a @ b)
+    exp_fn = _fp32_exp if emulate_fp16 else np.exp
+
+    out = np.zeros(q.shape[:-1] + (d_v,), dtype=np.float64)
+    lse = np.zeros(q.shape[:-1], dtype=np.float64)
+
+    for qs in range(0, n_q, block_q):
+        qe = min(qs + block_q, n_q)
+        q_tile = q[..., qs:qe, :]
+        state = OnlineSoftmaxState.initial(q.shape[:-2], qe - qs, d_v=d_v, exp_fn=exp_fn)
+        for ks in range(0, n_k, block_k):
+            ke = min(ks + block_k, n_k)
+            if causal and ks > qe - 1 + offset:
+                break  # tile is entirely in the future for every query row
+            s_tile = matmul(q_tile, np.swapaxes(k[..., ks:ke, :], -1, -2)) * scale
+            if causal:
+                s_tile = s_tile + causal_mask_block(qs, qe - qs, ks, ke - ks, offset)
+            if emulate_fp16:
+                # P~ is stored in FP16 registers before the PV MatMul.
+                state.update(
+                    s_tile,
+                    values=v[..., ks:ke, :],
+                    p_transform=lambda p: p.astype(np.float16).astype(np.float64),
+                    matmul=fp16_matmul,
+                )
+            else:
+                state.update(s_tile, values=v[..., ks:ke, :])
+        o_tile, l_tile = state.finalize()
+        out[..., qs:qe, :] = o_tile
+        lse[..., qs:qe] = l_tile
+    if return_lse:
+        return out, lse
+    return out

@@ -1,0 +1,47 @@
+"""Attention masks.
+
+Masks are additive: 0 where attention is allowed, ``NEG_INF`` where it is
+not.  ``NEG_INF`` is a large finite negative rather than ``-inf`` so masked
+scores survive integer/FP16 round-trips without producing NaNs in
+``-inf - (-inf)`` style expressions inside the tiled kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NEG_INF", "causal_mask", "causal_mask_block"]
+
+NEG_INF = -1e30
+
+
+def causal_mask(n_q: int, n_k: int) -> np.ndarray:
+    """Additive causal mask for queries attending to keys.
+
+    Query ``i`` (0-based, aligned to the *end* of the key sequence, i.e.
+    query ``i`` corresponds to absolute position ``n_k - n_q + i``) may
+    attend to keys ``j <= n_k - n_q + i``.  This alignment matches decode:
+    with ``n_q == 1`` the single query sees every key.
+    """
+    if n_q > n_k:
+        raise ValueError(f"more queries ({n_q}) than keys ({n_k})")
+    q_pos = np.arange(n_k - n_q, n_k)[:, None]
+    k_pos = np.arange(n_k)[None, :]
+    mask = np.zeros((n_q, n_k), dtype=np.float64)
+    mask[k_pos > q_pos] = NEG_INF
+    return mask
+
+
+def causal_mask_block(
+    q_start: int, q_len: int, k_start: int, k_len: int, offset: int
+) -> np.ndarray:
+    """Causal mask for one (query-tile, key-tile) pair in a tiled kernel.
+
+    ``offset`` is ``n_k_total - n_q_total`` — the absolute position of query
+    row 0.  Returns a ``(q_len, k_len)`` additive mask.
+    """
+    q_pos = (q_start + np.arange(q_len) + offset)[:, None]
+    k_pos = (k_start + np.arange(k_len))[None, :]
+    mask = np.zeros((q_len, k_len), dtype=np.float64)
+    mask[k_pos > q_pos] = NEG_INF
+    return mask

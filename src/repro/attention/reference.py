@@ -1,0 +1,66 @@
+"""Reference (vanilla) softmax attention — the exactness oracle.
+
+Implements Eq. 2 of the paper directly:
+
+    S = Q K^T / sqrt(d),   P = softmax(S),   H = P V
+
+in float64, with an optional additive mask.  Every approximate kernel in
+the library (flash, turbo) is tested against this implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["softmax", "reference_attention"]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax (max-subtracted)."""
+    x = np.asarray(x, dtype=np.float64)
+    m = np.max(x, axis=axis, keepdims=True)
+    e = np.exp(x - m)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def reference_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+    return_lse: bool = False,
+):
+    """Exact attention.
+
+    Parameters
+    ----------
+    q, k, v:
+        Arrays of shape ``(..., n_q, d)``, ``(..., n_k, d)``,
+        ``(..., n_k, d_v)``; leading batch/head axes broadcast.
+    mask:
+        Optional additive mask broadcastable to ``(..., n_q, n_k)``.
+    scale:
+        Score scale; defaults to ``1/sqrt(d)``.
+    return_lse:
+        Also return the row-wise log-sum-exp ``L`` (used to cross-check the
+        flash/turbo kernels, which emit it for backward/split-K use).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    d = q.shape[-1]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    s = (q @ np.swapaxes(k, -1, -2)) * scale
+    if mask is not None:
+        s = s + mask
+    p = softmax(s, axis=-1)
+    out = p @ v
+    if return_lse:
+        m = np.max(s, axis=-1)
+        lse = m + np.log(np.sum(np.exp(s - m[..., None]), axis=-1))
+        return out, lse
+    return out

@@ -1,0 +1,103 @@
+"""Vanilla (materializing) quantized attention — the §2.2 counterpoint.
+
+Fine-grained token-wise/channel-wise quantization scales are easy to apply
+to *vanilla* attention because the full score matrix ``S`` and probability
+matrix ``P`` are materialized: every row/column can carry its own scale.
+The cost is the O(n_q x n_k) intermediate that flash attention exists to
+avoid.  TurboAttention's design constraint — per-tile scalar scales —
+is exactly what lets quantization live *inside* the tiled loop.
+
+This module implements the vanilla quantized path and reports its
+intermediate-activation footprint, so the trade-off is measurable:
+
+* accuracy: per-token scales are slightly tighter than per-tile scales;
+* memory: the intermediates grow quadratically and exceed flash
+  attention's O(tile) working set by orders of magnitude at long context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.integer_gemm import int_matmul
+from repro.quant.schemes import quantize_symmetric
+
+__all__ = ["VanillaQuantizedResult", "vanilla_quantized_attention", "intermediate_bytes"]
+
+
+@dataclass
+class VanillaQuantizedResult:
+    """Output plus the working-set accounting of the vanilla path."""
+
+    output: np.ndarray
+    intermediate_bytes: float
+
+
+def intermediate_bytes(n_q: int, n_k: int, n_heads: int, batch: int = 1) -> float:
+    """Bytes of the materialized S (fp32) + P (fp16) matrices."""
+    scores = batch * n_heads * n_q * n_k
+    return scores * 4.0 + scores * 2.0
+
+
+def vanilla_quantized_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    bits: int = 8,
+    scale: Optional[float] = None,
+    per_token: bool = True,
+) -> VanillaQuantizedResult:
+    """Quantized attention with full S/P materialization.
+
+    ``per_token=True`` gives every query row and key/value token its own
+    symmetric scale (the fine granularity flash tiling cannot host);
+    ``False`` uses one scale per head (tile-compatible, for comparison).
+    Shapes follow the library convention ``(heads, n, d)``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    h, n_q, d = q.shape
+    n_k = k.shape[1]
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    axis = -1 if per_token else (-2, -1)
+    # The paper's 119 headroom applies to the INT8 stage; narrower widths
+    # use the full restricted signed range.
+    max_code = 119 if bits == 8 else None
+
+    qc, qs = quantize_symmetric(q, bits=bits, axis=axis, max_code=max_code)
+    kc, ks = quantize_symmetric(k, bits=bits, axis=axis, max_code=max_code)
+    vc, vs = quantize_symmetric(v, bits=bits, axis=axis, max_code=max_code)
+
+    # S = (q_scale_row * k_scale_col) * int(QK^T): per-token scales form an
+    # outer product over the full matrix — only possible because S exists.
+    s_int = int_matmul(qc, np.swapaxes(kc, -1, -2))
+    row_scale = qs if per_token else qs * np.ones((h, n_q, 1))
+    col_scale = np.swapaxes(ks, -1, -2) if per_token else ks * np.ones((h, 1, n_k))
+    s = row_scale * col_scale * s_int.astype(np.float64) * scale
+
+    m = s.max(axis=-1, keepdims=True)
+    p = np.exp(s - m)
+    p /= p.sum(axis=-1, keepdims=True)
+
+    pc, ps = quantize_symmetric(p, bits=bits, axis=axis, max_code=max_code)
+    p_row = ps if per_token else ps * np.ones((h, n_q, 1))
+    if per_token:
+        # PV with per-token V scales requires the product split per token:
+        # out = sum_t p_row * ps * Q(P)[:, t] * vs[t] * Q(V)[t, :]
+        out = np.einsum(
+            "hqt,ht,htd->hqd",
+            pc.astype(np.float64),
+            vs[..., 0].astype(np.float64),
+            vc.astype(np.float64),
+        ) * p_row
+    else:
+        out = p_row * vs * int_matmul(pc, vc).astype(np.float64)
+    return VanillaQuantizedResult(
+        output=out,
+        intermediate_bytes=intermediate_bytes(n_q, n_k, h),
+    )

@@ -1,0 +1,33 @@
+"""Baseline attention/KV-compression methods the paper compares against.
+
+All baselines implement :class:`repro.baselines.base.AttentionBackend`, the
+same prefill/decode interface as :class:`repro.core.turbo.TurboAttention`,
+so the task harness and performance model can sweep methods uniformly:
+
+* :class:`repro.baselines.fp16_cache.FP16Attention` — FlashAttention over
+  an uncompressed FP16 cache (the paper's exact baseline).
+* :class:`repro.baselines.kivi.KIVIAttention` — per-channel key / per-token
+  value asymmetric group quantization with an FP16 residual window
+  (Liu et al., 2024).
+* :class:`repro.baselines.gear.GEARAttention` — GEAR-L: group quantization
+  plus rank-``r`` low-rank compensation of the quantization residual, with
+  an FP16 residual window (Kang et al., 2024).
+"""
+
+from repro.baselines.base import AttentionBackend, DecodeState
+from repro.baselines.fp16_cache import FP16Attention
+from repro.baselines.kivi import KIVIAttention, KIVIConfig
+from repro.baselines.gear import GEARAttention, GEARConfig
+from repro.baselines.fp8_flash import FP8Attention, FP8State
+
+__all__ = [
+    "AttentionBackend",
+    "DecodeState",
+    "FP16Attention",
+    "KIVIAttention",
+    "KIVIConfig",
+    "GEARAttention",
+    "GEARConfig",
+    "FP8Attention",
+    "FP8State",
+]

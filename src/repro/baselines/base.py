@@ -1,0 +1,113 @@
+"""Common interface for attention backends.
+
+An :class:`AttentionBackend` owns a KV-representation strategy and exposes
+the two phases of generation:
+
+* ``prefill(q, k, v)`` — process the prompt, return the attention output
+  and an opaque per-layer state object;
+* ``decode_step(q_t, k_t, v_t, state)`` — process one generated token.
+
+States report ``storage_bits`` so the memory/throughput models can compare
+methods honestly (codes + scales + zero-points + residual windows + any
+low-rank factors).
+
+Shapes follow the core kernels: ``q`` is ``(q_heads, n, d)``, ``k``/``v``
+are ``(kv_heads, n, d)`` with ``q_heads`` a multiple of ``kv_heads``;
+decode vectors drop the token axis.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.attention.flash import flash_attention
+
+__all__ = ["AttentionBackend", "DecodeState", "gqa_expand"]
+
+
+def gqa_expand(x: np.ndarray, q_heads: int) -> np.ndarray:
+    """Repeat KV heads so ``x`` matches ``q_heads`` (grouped-query attn)."""
+    kv_heads = x.shape[0]
+    if q_heads == kv_heads:
+        return x
+    if q_heads % kv_heads != 0:
+        raise ValueError(f"q_heads {q_heads} not a multiple of kv_heads {kv_heads}")
+    return np.repeat(x, q_heads // kv_heads, axis=0)
+
+
+class DecodeState(abc.ABC):
+    """Opaque per-layer KV state with storage accounting."""
+
+    @property
+    @abc.abstractmethod
+    def seq_len(self) -> int:
+        """Tokens currently represented."""
+
+    @property
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Total bits the representation occupies."""
+
+    @property
+    def storage_bytes(self) -> float:
+        return self.storage_bits / 8.0
+
+    def effective_bits_per_value(self) -> float:
+        """Average stored bits per K/V element, metadata included."""
+        n = self._logical_elements()
+        return self.storage_bits / n if n else 0.0
+
+    def compression_ratio(self, reference_bits: int = 16) -> float:
+        n = self._logical_elements()
+        if n == 0 or self.storage_bits == 0:
+            return 1.0
+        return (n * reference_bits) / self.storage_bits
+
+    @abc.abstractmethod
+    def _logical_elements(self) -> int:
+        """Number of K/V scalars represented (2 * seq * heads * dim)."""
+
+
+class AttentionBackend(abc.ABC):
+    """Prefill/decode attention with a method-specific KV representation."""
+
+    #: Human-readable method name used by the harness tables.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def prefill(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        causal: bool = True,
+        scale: Optional[float] = None,
+    ) -> Tuple[np.ndarray, Any]:
+        """Process the prompt; return ``(output, state)``."""
+
+    @abc.abstractmethod
+    def decode_step(
+        self,
+        q_t: np.ndarray,
+        k_t: np.ndarray,
+        v_t: np.ndarray,
+        state: Any,
+        scale: Optional[float] = None,
+    ) -> np.ndarray:
+        """Process one generated token; return its attention output."""
+
+    # Shared helper: exact FP16 flash attention over explicit K/V arrays.
+    @staticmethod
+    def _flash_over(
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        causal: bool,
+        scale: Optional[float],
+    ) -> np.ndarray:
+        k = gqa_expand(k, q.shape[0])
+        v = gqa_expand(v, q.shape[0])
+        return flash_attention(q, k, v, causal=causal, scale=scale, emulate_fp16=True)

@@ -1,0 +1,172 @@
+"""FP8 flash attention backend (FlashAttention-3-style low precision).
+
+Q/K/V tiles are scaled per (head, tile) so their maxima sit at half the
+E4M3 range, rounded to FP8, and multiplied on (emulated) FP8 tensor cores
+with FP32 accumulation; the probability tile takes the same treatment for
+the PV MatMul.  The KV cache stores FP8 values plus one FP16 scale per
+(head, tile) — 8.25 effective bits, between FP16 and the INT4/2
+progressive cache.
+
+This is the "just use FP8" alternative to FlashQ's INT8 stage: comparable
+compute-rate benefits on Hopper, but only ~2x cache compression and no
+head-wise 2/4-bit path.  The accuracy harness can sweep it alongside the
+other methods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import AttentionBackend, DecodeState, gqa_expand
+from repro.fp.fp8 import FP8_E4M3, fp8_tile_quantize
+from repro.attention.masks import causal_mask_block
+from repro.attention.online_softmax import OnlineSoftmaxState
+
+__all__ = ["FP8State", "FP8Attention"]
+
+_TILE = 64
+
+
+class FP8State(DecodeState):
+    """FP8 values + per-(head, tile) scales, tiled along the sequence."""
+
+    def __init__(self, n_heads: int, head_dim: int, tile: int = _TILE):
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.tile = tile
+        self.k_vals = np.zeros((n_heads, 0, head_dim))
+        self.v_vals = np.zeros((n_heads, 0, head_dim))
+        self.k_scales: list = []
+        self.v_scales: list = []
+        self._pending_k = np.zeros((n_heads, 0, head_dim))
+        self._pending_v = np.zeros((n_heads, 0, head_dim))
+
+    def _flush(self, force: bool = False) -> None:
+        while self._pending_k.shape[1] >= self.tile or (
+            force and self._pending_k.shape[1] > 0
+        ):
+            n = min(self.tile, self._pending_k.shape[1])
+            chunk_k, self._pending_k = (
+                self._pending_k[:, :n, :],
+                self._pending_k[:, n:, :],
+            )
+            chunk_v, self._pending_v = (
+                self._pending_v[:, :n, :],
+                self._pending_v[:, n:, :],
+            )
+            k8, ks = fp8_tile_quantize(chunk_k, FP8_E4M3)
+            v8, vs = fp8_tile_quantize(chunk_v, FP8_E4M3)
+            self.k_vals = np.concatenate([self.k_vals, k8 * ks], axis=1)
+            self.v_vals = np.concatenate([self.v_vals, v8 * vs], axis=1)
+            self.k_scales.append(ks)
+            self.v_scales.append(vs)
+
+    def ingest(self, k: np.ndarray, v: np.ndarray) -> None:
+        self._pending_k = np.concatenate([self._pending_k, k], axis=1)
+        self._pending_v = np.concatenate([self._pending_v, v], axis=1)
+        self._flush()
+
+    def dequantized(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Stored values (already scale-applied) + exact pending tail."""
+        return (
+            np.concatenate([self.k_vals, self._pending_k], axis=1),
+            np.concatenate([self.v_vals, self._pending_v], axis=1),
+        )
+
+    @property
+    def seq_len(self) -> int:
+        return self.k_vals.shape[1] + self._pending_k.shape[1]
+
+    def _logical_elements(self) -> int:
+        return 2 * self.seq_len * self.n_heads * self.head_dim
+
+    @property
+    def storage_bits(self) -> int:
+        stored = 2 * self.k_vals.shape[1] * self.n_heads * self.head_dim * 8
+        scales = (len(self.k_scales) + len(self.v_scales)) * self.n_heads * 16
+        pending = 2 * self._pending_k.shape[1] * self.n_heads * self.head_dim * 16
+        return stored + scales + pending
+
+
+class FP8Attention(AttentionBackend):
+    """Flash attention with FP8 tile quantization (FA3 low-precision mode)."""
+
+    name = "fp8"
+
+    def __init__(self, tile: int = _TILE):
+        self.tile = tile
+
+    def _flash_fp8(
+        self, q: np.ndarray, k: np.ndarray, v: np.ndarray, causal: bool, scale: Optional[float]
+    ) -> np.ndarray:
+        q = np.asarray(q, dtype=np.float64)
+        k = gqa_expand(np.asarray(k, dtype=np.float64), q.shape[0])
+        v = gqa_expand(np.asarray(v, dtype=np.float64), q.shape[0])
+        n_q, d = q.shape[-2], q.shape[-1]
+        n_k = k.shape[-2]
+        sm_scale = scale if scale is not None else 1.0 / np.sqrt(d)
+        offset = n_k - n_q
+        out = np.zeros_like(q)
+        for qs in range(0, n_q, self.tile):
+            qe = min(qs + self.tile, n_q)
+            q8, q_sc = fp8_tile_quantize(q[:, qs:qe, :], FP8_E4M3)
+            state = OnlineSoftmaxState.initial(q.shape[:-2], qe - qs, d_v=d)
+            for ks in range(0, n_k, self.tile):
+                ke = min(ks + self.tile, n_k)
+                if causal and ks > qe - 1 + offset:
+                    break
+                k8, k_sc = fp8_tile_quantize(k[:, ks:ke, :], FP8_E4M3)
+                s_tile = (
+                    q_sc * k_sc * (q8.astype(np.float32) @ np.swapaxes(k8, -1, -2).astype(np.float32))
+                ) * sm_scale
+                if causal:
+                    s_tile = s_tile + causal_mask_block(qs, qe - qs, ks, ke - ks, offset)
+                v8, v_sc = fp8_tile_quantize(v[:, ks:ke, :], FP8_E4M3)
+
+                def pv_mm(p, vals, v_sc=v_sc):
+                    p8, p_sc = fp8_tile_quantize(p, FP8_E4M3)
+                    return p_sc * v_sc * (
+                        p8.astype(np.float32) @ (vals / v_sc).astype(np.float32)
+                    )
+
+                state.update(
+                    s_tile,
+                    values=v8 * v_sc,
+                    matmul=pv_mm,
+                )
+            o_tile, _ = state.finalize()
+            out[:, qs:qe, :] = o_tile
+        return out
+
+    def prefill(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        causal: bool = True,
+        scale: Optional[float] = None,
+    ):
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        out = self._flash_fp8(q, k, v, causal=causal, scale=scale)
+        state = FP8State(k.shape[0], k.shape[-1], tile=self.tile)
+        state.ingest(k, v)
+        return out, state
+
+    def decode_step(
+        self,
+        q_t: np.ndarray,
+        k_t: np.ndarray,
+        v_t: np.ndarray,
+        state: FP8State,
+        scale: Optional[float] = None,
+    ) -> np.ndarray:
+        k_t = np.asarray(k_t, dtype=np.float64).reshape(state.n_heads, 1, state.head_dim)
+        v_t = np.asarray(v_t, dtype=np.float64).reshape(state.n_heads, 1, state.head_dim)
+        state.ingest(k_t, v_t)
+        k_full, v_full = state.dequantized()
+        q = np.asarray(q_t, dtype=np.float64)[:, None, :]
+        out = self._flash_fp8(q, k_full, v_full, causal=False, scale=scale)
+        return out[:, 0, :]

@@ -1,0 +1,160 @@
+"""KIVI baseline (Liu et al., 2024): asymmetric KV cache group quantization.
+
+KIVI's layout, reproduced here:
+
+* **Key cache — per-channel**: tokens are grouped along the sequence axis
+  (group size ``g``, 64 in the paper's best-accuracy mode); within each
+  group every channel gets its own asymmetric scale/zero (statistics over
+  the ``g`` tokens).
+* **Value cache — per-token**: every token row is quantized with asymmetric
+  statistics over channel groups of size ``g``.
+* **FP16 residual window**: the most recent ``n_b`` tokens stay in full
+  precision and are only quantized once a full group has accumulated.
+
+Attention always runs over the *dequantized* cache (+ FP16 residual) with
+exact FlashAttention — this is the "decompress to FP16 then FlashAttention"
+pipeline whose dequantization latency Figure 1b charges against KIVI.
+Prefill compute is exact; quantization error enters through decode reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import AttentionBackend, DecodeState
+from repro.fp.formats import FP16, quantize_to_format
+from repro.quant.qtensor import Granularity, QuantizedTensor
+
+__all__ = ["KIVIConfig", "KIVIState", "KIVIAttention"]
+
+
+@dataclass(frozen=True)
+class KIVIConfig:
+    """KIVI hyper-parameters (paper notation: ``KIVI_{g=64, n_b=64}``)."""
+
+    bits: int = 4
+    group_size: int = 64
+    residual: int = 64
+
+    def __post_init__(self) -> None:
+        if self.bits not in (2, 3, 4, 8):
+            raise ValueError(f"unsupported KIVI bit-width: {self.bits}")
+        if self.group_size <= 0 or self.residual <= 0:
+            raise ValueError("group_size and residual must be positive")
+
+
+def _quantize_key_group(chunk: np.ndarray, bits: int) -> QuantizedTensor:
+    """Per-channel asymmetric quantization of a ``(heads, g, d)`` chunk."""
+    return QuantizedTensor.from_float(
+        chunk, bits=bits, symmetric=False, axis=-2, granularity=Granularity.PER_CHANNEL
+    )
+
+
+def _quantize_value_group(chunk: np.ndarray, bits: int, group_size: int) -> QuantizedTensor:
+    """Per-token (channel-grouped) asymmetric quantization of a chunk."""
+    h, t, d = chunk.shape
+    gc = min(group_size, d)
+    if d % gc:
+        gc = d  # fall back to whole-row statistics for awkward dims
+    grouped = chunk.reshape(h, t, d // gc, gc)
+    qt = QuantizedTensor.from_float(
+        grouped, bits=bits, symmetric=False, axis=-1, granularity=Granularity.PER_TOKEN
+    )
+    return qt
+
+
+class KIVIState(DecodeState):
+    """Quantized groups + FP16 residual window."""
+
+    def __init__(self, config: KIVIConfig, n_heads: int, head_dim: int):
+        self.config = config
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.k_groups: List[QuantizedTensor] = []
+        self.v_groups: List[QuantizedTensor] = []
+        self.k_resid = np.zeros((n_heads, 0, head_dim), dtype=np.float64)
+        self.v_resid = np.zeros((n_heads, 0, head_dim), dtype=np.float64)
+
+    # -- construction -----------------------------------------------------
+    def ingest(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Append tokens, flushing full groups out of the residual window."""
+        k = quantize_to_format(k, FP16)
+        v = quantize_to_format(v, FP16)
+        self.k_resid = np.concatenate([self.k_resid, k], axis=1)
+        self.v_resid = np.concatenate([self.v_resid, v], axis=1)
+        g = self.config.group_size
+        while self.k_resid.shape[1] >= self.config.residual and self.k_resid.shape[1] >= g:
+            chunk_k, self.k_resid = self.k_resid[:, :g, :], self.k_resid[:, g:, :]
+            chunk_v, self.v_resid = self.v_resid[:, :g, :], self.v_resid[:, g:, :]
+            self.k_groups.append(_quantize_key_group(chunk_k, self.config.bits))
+            self.v_groups.append(
+                _quantize_value_group(chunk_v, self.config.bits, g)
+            )
+
+    # -- reads ------------------------------------------------------------
+    def dequantized(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Full K/V as the attention kernel sees them (lossy + residual)."""
+        h, d = self.n_heads, self.head_dim
+        k_parts = [qt.dequantize() for qt in self.k_groups] + [self.k_resid]
+        v_parts = [qt.dequantize().reshape(h, -1, d) for qt in self.v_groups] + [self.v_resid]
+        return np.concatenate(k_parts, axis=1), np.concatenate(v_parts, axis=1)
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def seq_len(self) -> int:
+        g = self.config.group_size
+        return len(self.k_groups) * g + self.k_resid.shape[1]
+
+    def _logical_elements(self) -> int:
+        return 2 * self.seq_len * self.n_heads * self.head_dim
+
+    @property
+    def storage_bits(self) -> int:
+        total = sum(qt.storage_bits for qt in self.k_groups)
+        total += sum(qt.storage_bits for qt in self.v_groups)
+        total += int(np.prod(self.k_resid.shape)) * 16
+        total += int(np.prod(self.v_resid.shape)) * 16
+        return total
+
+
+class KIVIAttention(AttentionBackend):
+    """KIVI cache compression + exact FlashAttention on dequantized KV."""
+
+    name = "kivi"
+
+    def __init__(self, config: KIVIConfig = KIVIConfig()):
+        self.config = config
+
+    def prefill(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        causal: bool = True,
+        scale: Optional[float] = None,
+    ) -> Tuple[np.ndarray, KIVIState]:
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        out = self._flash_over(np.asarray(q, dtype=np.float64), k, v, causal=causal, scale=scale)
+        state = KIVIState(self.config, n_heads=k.shape[0], head_dim=k.shape[-1])
+        state.ingest(k, v)
+        return out, state
+
+    def decode_step(
+        self,
+        q_t: np.ndarray,
+        k_t: np.ndarray,
+        v_t: np.ndarray,
+        state: KIVIState,
+        scale: Optional[float] = None,
+    ) -> np.ndarray:
+        k_t = np.asarray(k_t, dtype=np.float64).reshape(state.n_heads, 1, state.head_dim)
+        v_t = np.asarray(v_t, dtype=np.float64).reshape(state.n_heads, 1, state.head_dim)
+        state.ingest(k_t, v_t)
+        k_full, v_full = state.dequantized()
+        q = np.asarray(q_t, dtype=np.float64)[:, None, :]
+        out = self._flash_over(q, k_full, v_full, causal=False, scale=scale)
+        return out[:, 0, :]

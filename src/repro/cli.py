@@ -1,0 +1,161 @@
+"""Command-line interface.
+
+    python -m repro info
+    python -m repro eval  --model phi3ish --task gsm8k_like --method turbo_mixed
+    python -m repro perf  --batch 4 --context 8192 --phase decode
+    python -m repro serve --rate 6 --requests 60 --method turbo_mixed
+    python -m repro harness table2 fig6 --quick
+
+Everything the CLI prints is produced by the same library calls the tests
+and benchmarks exercise; the CLI adds no logic of its own.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+import repro
+from repro.harness.common import accuracy_method_registry, render_table
+from repro.models.config import MODEL_PRESETS
+from repro.perf.attention_costs import METHODS, attention_latency
+from repro.perf.e2e import ModelGeometry
+from repro.perf.memory import paper_memory_model
+from repro.serving import ServingEngine, poisson_workload
+from repro.tasks import TASK_PRESETS, task_for_model
+from repro.tasks.recall import evaluate_backend
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    del args
+    print(f"repro {repro.__version__} — TurboAttention (MLSys 2025) reproduction")
+    print(f"models : {', '.join(sorted(MODEL_PRESETS))}")
+    print(f"tasks  : {', '.join(sorted(TASK_PRESETS))}")
+    print(f"accuracy methods : {', '.join(sorted(accuracy_method_registry()))}")
+    print(f"perf methods     : {', '.join(sorted(METHODS))}")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    registry = accuracy_method_registry()
+    methods = [args.method] if args.method != "all" else list(registry)
+    task, model = task_for_model(args.task, args.model)
+    rows = []
+    for name in methods:
+        res = evaluate_backend(registry[name], task, model)
+        rows.append([name, f"{res.accuracy * 100:.1f}", f"{res.effective_bits:.2f}"])
+    print(render_table(
+        ["method", "accuracy %", "bits/value"], rows,
+        title=f"{args.task} on {args.model}",
+    ))
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    model = ModelGeometry.phi3_medium()
+    mem = paper_memory_model(model)
+    prefill = args.phase == "prefill"
+    geom = model.attention_geometry(
+        args.batch, args.context if prefill else 1, args.context
+    )
+    base = attention_latency(METHODS["fp16"], geom, prefill)
+    rows = []
+    for name, spec in METHODS.items():
+        fits = mem.fits(spec, args.batch, args.context)
+        lat = attention_latency(spec, geom, prefill)
+        rows.append([
+            name,
+            f"{lat * 1e3:.3f}",
+            f"{base / lat:.2f}x",
+            "yes" if fits else "OOM",
+        ])
+    print(render_table(
+        ["method", f"{args.phase} latency (ms)", "vs fp16", "fits"],
+        rows,
+        title=f"Attention {args.phase}, batch={args.batch}, context={args.context} "
+              f"(Phi3-medium, A100-80GB)",
+    ))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    model = ModelGeometry.phi3_medium()
+    workload = poisson_workload(
+        args.requests, arrival_rate=args.rate, rng=np.random.default_rng(args.seed)
+    )
+    methods = [args.method] if args.method != "all" else list(METHODS)
+    rows = []
+    for name in methods:
+        m = ServingEngine(model, METHODS[name]).run(workload)
+        rows.append([
+            name, m.completed, f"{m.throughput_tokens_per_s:.0f}",
+            f"{m.mean_ttft:.2f}", f"{m.p95_ttft:.2f}", m.preemptions,
+        ])
+    print(render_table(
+        ["method", "done", "tok/s", "mean TTFT", "p95 TTFT", "preempt"], rows,
+        title=f"Serving {args.requests} requests @ {args.rate}/s",
+    ))
+    return 0
+
+
+def _cmd_harness(args: argparse.Namespace) -> int:
+    from repro.harness.run_all import main as run_all_main
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.names:
+        argv += ["--only", *args.names]
+    return run_all_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="versions, presets, method registries").set_defaults(
+        fn=_cmd_info
+    )
+
+    p_eval = sub.add_parser("eval", help="accuracy on a recall task")
+    p_eval.add_argument("--model", default="phi3ish", choices=sorted(MODEL_PRESETS))
+    p_eval.add_argument("--task", default="gsm8k_like", choices=sorted(TASK_PRESETS))
+    p_eval.add_argument(
+        "--method", default="all",
+        choices=["all", *sorted(accuracy_method_registry())],
+    )
+    p_eval.set_defaults(fn=_cmd_eval)
+
+    p_perf = sub.add_parser("perf", help="attention latency from the cost model")
+    p_perf.add_argument("--batch", type=int, default=4)
+    p_perf.add_argument("--context", type=int, default=8192)
+    p_perf.add_argument("--phase", default="decode", choices=["prefill", "decode"])
+    p_perf.set_defaults(fn=_cmd_perf)
+
+    p_serve = sub.add_parser("serve", help="serving simulation")
+    p_serve.add_argument("--rate", type=float, default=6.0)
+    p_serve.add_argument("--requests", type=int, default=60)
+    p_serve.add_argument("--method", default="all", choices=["all", *sorted(METHODS)])
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_h = sub.add_parser("harness", help="run table/figure regenerators")
+    p_h.add_argument("names", nargs="*", help="subset (default: all)")
+    p_h.add_argument("--quick", action="store_true")
+    p_h.set_defaults(fn=_cmd_harness)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

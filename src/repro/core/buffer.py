@@ -1,0 +1,118 @@
+"""Enhanced KV cache buffer for decode (paper §3.3).
+
+Newly generated key/value vectors are staged in INT8 using a *universal*
+(frozen) symmetric scale fixed at prefill time; values that exceed the
+scale's range are clamped rather than triggering a rescale, so previously
+staged tokens are never recompressed.  When the buffer reaches ``n_b``
+tokens it is flushed — progressively compressed into one cache block — and
+cleared.
+
+The contrast with KIVI/GEAR, which keep their residual window in FP16, is
+what lets TurboAttention run the *entire* decode attention in integer
+arithmetic (and is charged accordingly in the performance model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DecodeBuffer"]
+
+
+class DecodeBuffer:
+    """INT8 staging buffer with a frozen universal scale.
+
+    Parameters
+    ----------
+    n_heads, head_dim:
+        KV geometry.
+    capacity:
+        ``n_b`` — flush threshold.
+    k_scale, v_scale:
+        Universal symmetric scales, shape ``(n_heads, 1, 1)``; typically
+        ``max|K_prefill| / 119`` per head.
+    clamp_code:
+        Magnitude bound for staged codes (the paper clamps outliers into
+        the frozen scale; 119 leaves INT8 headroom).
+    """
+
+    def __init__(
+        self,
+        n_heads: int,
+        head_dim: int,
+        capacity: int,
+        k_scale: np.ndarray,
+        v_scale: np.ndarray,
+        clamp_code: int = 119,
+    ):
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.capacity = capacity
+        self.clamp_code = int(clamp_code)
+        self.k_scale = np.asarray(k_scale, dtype=np.float64).reshape(n_heads, 1, 1)
+        self.v_scale = np.asarray(v_scale, dtype=np.float64).reshape(n_heads, 1, 1)
+        self._k_codes = np.zeros((n_heads, capacity, head_dim), dtype=np.int8)
+        self._v_codes = np.zeros((n_heads, capacity, head_dim), dtype=np.int8)
+        self._len = 0
+        self.clamped_total = 0  # elements clamped so far (observability)
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def is_full(self) -> bool:
+        return self._len >= self.capacity
+
+    def _quantize(self, x: np.ndarray, scale: np.ndarray) -> Tuple[np.ndarray, int]:
+        codes = np.rint(np.asarray(x, dtype=np.float64) / scale)
+        clamped = int(np.count_nonzero(np.abs(codes) > self.clamp_code))
+        codes = np.clip(codes, -self.clamp_code, self.clamp_code)
+        return codes.astype(np.int8), clamped
+
+    def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
+        """Stage one token's K/V vectors, shape ``(n_heads, head_dim)`` or
+        ``(n_heads, 1, head_dim)``.  Raises if the buffer is full — callers
+        must flush first (see :meth:`flush_if_full`)."""
+        if self.is_full:
+            raise RuntimeError("buffer full: flush before appending")
+        k_t = np.asarray(k_t, dtype=np.float64).reshape(self.n_heads, 1, self.head_dim)
+        v_t = np.asarray(v_t, dtype=np.float64).reshape(self.n_heads, 1, self.head_dim)
+        k_codes, ck = self._quantize(k_t, self.k_scale)
+        v_codes, cv = self._quantize(v_t, self.v_scale)
+        self._k_codes[:, self._len : self._len + 1, :] = k_codes
+        self._v_codes[:, self._len : self._len + 1, :] = v_codes
+        self._len += 1
+        self.clamped_total += ck + cv
+
+    def extend(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Stage multiple tokens (used for the ragged prefill tail)."""
+        k = np.asarray(k, dtype=np.float64)
+        for t in range(k.shape[-2]):
+            self.append(k[..., t, :], np.asarray(v)[..., t, :])
+
+    def codes(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current staged INT8 codes, shapes ``(n_heads, len, head_dim)``."""
+        return (
+            self._k_codes[:, : self._len, :],
+            self._v_codes[:, : self._len, :],
+        )
+
+    def drain(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Return staged codes + scales and clear the buffer.
+
+        The caller hands these to
+        :meth:`repro.core.kvcache.QuantizedKVCache.append_block`.
+        """
+        k_codes, v_codes = self.codes()
+        k_codes, v_codes = k_codes.copy(), v_codes.copy()
+        self._len = 0
+        return k_codes, v_codes, self.k_scale.copy(), self.v_scale.copy()
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits held by staged codes (INT8) plus the two universal scales."""
+        return 2 * self._len * self.n_heads * self.head_dim * 8 + 2 * self.n_heads * 16

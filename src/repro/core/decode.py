@@ -1,0 +1,220 @@
+"""TurboAttention decode kernel (paper Algorithm 2).
+
+One autoregressive step: the new token's K/V are staged into the INT8
+buffer (frozen universal scale, outliers clamped), the query is quantized
+to INT8, and attention streams over
+
+1. every progressive cache block — decompressed *to INT8* with pure integer
+   arithmetic (``q1 = q2 * s_int + z_int``) — and
+2. the current buffer contents, which are already INT8.
+
+All score and output MatMuls are integer GEMMs; exponentiation is SAS.
+After the attention, a full buffer is flushed into the cache (progressive
+compression), so the number of cached FP16 bytes is always zero — the
+property that distinguishes TurboAttention from KIVI/GEAR's FP16 residual
+windows.
+
+:func:`turbo_decode_step_split_k` is the FlashDecoding-composed variant:
+cache blocks are partitioned into splits, each split runs the same integer
+inner loop independently, and the partial ``(output, logsumexp)`` pairs
+merge exactly (see :mod:`repro.attention.split_k`) — demonstrating the
+paper's claim that TurboAttention slots into existing attention
+schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attention.split_k import merge_partials
+from repro.core.buffer import DecodeBuffer
+from repro.core.config import TurboConfig
+from repro.core.kvcache import QuantizedKVCache
+from repro.quant.integer_gemm import int_matmul
+from repro.sas.softmax import SAS
+
+__all__ = ["turbo_decode_step", "turbo_decode_step_split_k"]
+
+Span = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _exp_fn(config: TurboConfig) -> Callable[[np.ndarray], np.ndarray]:
+    if config.use_sas:
+        return SAS(config.sas)
+    return lambda x: np.where(np.isfinite(x), np.exp(np.minimum(x, 0.0)), 0.0)
+
+
+def _quantize_query(q_t: np.ndarray, hkv: int, g: int, d: int, mc: int):
+    qg = np.asarray(q_t, dtype=np.float64).reshape(hkv, g, 1, d)
+    q_absmax = np.maximum(np.abs(qg).max(axis=(-2, -1), keepdims=True), 1e-12)
+    q_scale = q_absmax / float(mc)
+    qc = np.clip(np.rint(qg / q_scale), -mc, mc).astype(np.int8)
+    return qc, q_scale
+
+
+def _attend_spans(
+    spans: Sequence[Span],
+    qc: np.ndarray,
+    q_scale: np.ndarray,
+    config: TurboConfig,
+    exp: Callable[[np.ndarray], np.ndarray],
+    scale: float,
+    hkv: int,
+    g: int,
+    d: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run Algorithm 2's integer inner loop over a list of INT8 spans.
+
+    Returns the normalized partial output ``(hkv, g, 1, d)`` and its
+    logsumexp ``(hkv, g, 1)`` — the mergeable split-K contract.
+    """
+    mc = config.int8_max_code
+    m = np.full((hkv, g, 1), -np.inf)
+    l = np.zeros((hkv, g, 1))
+    acc = np.zeros((hkv, g, 1, d))
+    for k_codes, v_codes, k_scale, v_scale in spans:
+        s_tile = (
+            q_scale
+            * np.reshape(k_scale, (hkv, 1, 1, 1))
+            * int_matmul(qc, np.swapaxes(k_codes, -1, -2)[:, None, :, :])
+        ) * scale
+        m_new = np.maximum(m, s_tile.max(axis=-1))
+        with np.errstate(invalid="ignore"):
+            corr = exp(m - m_new)
+        corr = np.where(np.isfinite(m), corr, 0.0)
+        p = exp(s_tile - m_new[..., None])
+        l = corr * l + p.sum(axis=-1)
+        if config.quantize_matmuls:
+            p_absmax = np.maximum(np.abs(p).max(axis=(-2, -1), keepdims=True), 1e-12)
+            p_scale = p_absmax / float(mc)
+            pc = np.clip(np.rint(p / p_scale), -mc, mc).astype(np.int8)
+            pv = (
+                p_scale
+                * np.reshape(v_scale, (hkv, 1, 1, 1))
+                * int_matmul(pc, v_codes[:, None, :, :])
+            )
+        else:
+            pv = p @ (
+                v_codes.astype(np.float64) * np.reshape(v_scale, (hkv, 1, 1))
+            )[:, None, :, :]
+        acc = corr[..., None] * acc + pv
+        m = m_new
+    safe_l = np.where(l > 0, l, 1.0)
+    out = acc / safe_l[..., None]
+    lse = np.where(l > 0, m + np.log(safe_l), -np.inf)
+    return out, lse
+
+
+def _gather_spans(cache: QuantizedKVCache, buffer: DecodeBuffer) -> List[Span]:
+    spans: List[Span] = [
+        (k_codes, v_codes, k_sc, v_sc)
+        for k_codes, v_codes, k_sc, v_sc, _length in cache.iter_decompressed()
+    ]
+    buf_k, buf_v = buffer.codes()
+    if buf_k.shape[-2] > 0:
+        spans.append((buf_k, buf_v, buffer.k_scale, buffer.v_scale))
+    return spans
+
+
+def _prepare_step(
+    q_t: np.ndarray,
+    k_t: np.ndarray,
+    v_t: np.ndarray,
+    cache: QuantizedKVCache,
+    buffer: DecodeBuffer,
+    config: TurboConfig,
+    scale: Optional[float],
+):
+    q_t = np.asarray(q_t, dtype=np.float64)
+    hq, d = q_t.shape
+    hkv = cache.n_heads
+    if hq % hkv != 0:
+        raise ValueError(f"q_heads {hq} not a multiple of kv_heads {hkv}")
+    g = hq // hkv
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    if buffer.is_full:
+        cache.append_block(*buffer.drain())
+    buffer.append(k_t, v_t)
+    qc, q_scale = _quantize_query(q_t, hkv, g, d, config.int8_max_code)
+    return qc, q_scale, scale, hq, hkv, g, d
+
+
+def turbo_decode_step(
+    q_t: np.ndarray,
+    k_t: np.ndarray,
+    v_t: np.ndarray,
+    cache: QuantizedKVCache,
+    buffer: DecodeBuffer,
+    config: TurboConfig,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """One decode step.
+
+    Parameters
+    ----------
+    q_t:
+        Query for the new token, shape ``(q_heads, head_dim)``.
+    k_t, v_t:
+        The new token's key/value, shape ``(kv_heads, head_dim)``; staged
+        into the buffer before attention so the token attends to itself.
+    cache, buffer:
+        State produced by :func:`repro.core.prefill.turbo_prefill` (and
+        mutated by previous decode steps).
+    config:
+        Kernel hyper-parameters.
+    scale:
+        Score scale, default ``1/sqrt(head_dim)``.
+
+    Returns
+    -------
+    Attention output for the token, shape ``(q_heads, head_dim)``.
+    """
+    qc, q_scale, scale, hq, hkv, g, d = _prepare_step(
+        q_t, k_t, v_t, cache, buffer, config, scale
+    )
+    exp = _exp_fn(config)
+    spans = _gather_spans(cache, buffer)
+    out, _lse = _attend_spans(spans, qc, q_scale, config, exp, scale, hkv, g, d)
+    return out.reshape(hq, d)
+
+
+def turbo_decode_step_split_k(
+    q_t: np.ndarray,
+    k_t: np.ndarray,
+    v_t: np.ndarray,
+    cache: QuantizedKVCache,
+    buffer: DecodeBuffer,
+    config: TurboConfig,
+    n_splits: int = 4,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """Split-K decode: the cache's spans are partitioned across
+    ``n_splits`` independent workers whose partials merge exactly.
+
+    Identical output (up to float addition order) to
+    :func:`turbo_decode_step`; exists to demonstrate — and test — that the
+    quantized path composes with FlashDecoding-style scheduling.
+    """
+    if n_splits < 1:
+        raise ValueError("n_splits must be >= 1")
+    qc, q_scale, scale, hq, hkv, g, d = _prepare_step(
+        q_t, k_t, v_t, cache, buffer, config, scale
+    )
+    exp = _exp_fn(config)
+    spans = _gather_spans(cache, buffer)
+    n_splits = min(n_splits, len(spans))
+    bounds = np.linspace(0, len(spans), n_splits + 1, dtype=int)
+    outs, lses = [], []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        if hi == lo:
+            continue
+        out, lse = _attend_spans(
+            spans[lo:hi], qc, q_scale, config, exp, scale, hkv, g, d
+        )
+        outs.append(out)
+        lses.append(lse)
+    merged, _ = merge_partials(outs, lses)
+    return merged.reshape(hq, d)

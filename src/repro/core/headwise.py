@@ -1,0 +1,140 @@
+"""Head-wise mixed precision: priority metric and selection (paper §3.2).
+
+Each KV head ``h`` receives a priority score
+
+    priority(h) = gap(h) * std(h)                              (Eq. 11)
+
+where ``gap(h)`` is the max-minus-min over *all channels* of the head (the
+overall value range) and ``std(h)`` is the standard deviation of the
+per-channel gaps (how uneven the channel ranges are).  Heads are ranked and
+the ``n_h`` lowest-priority heads are compressed to 2-bit, the rest to
+4-bit (Eq. 12).
+
+The ablation of Figure 7b compares this metric against simpler selectors —
+entropy, raw min-max range, channel-gap variation — implemented here under
+the same interface so the harness can sweep them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "HeadSelectionMethod",
+    "channel_gaps",
+    "head_priority",
+    "head_entropy",
+    "head_minmax",
+    "head_variation",
+    "head_scores",
+    "select_two_bit_heads",
+    "assign_head_bits",
+]
+
+
+class HeadSelectionMethod(str, enum.Enum):
+    """Selector used to pick the 2-bit heads."""
+
+    PRIORITY = "priority"
+    ENTROPY = "entropy"
+    MINMAX = "minmax"
+    VARIATION = "variation"
+    RANDOM = "random"
+
+
+def channel_gaps(x: np.ndarray) -> np.ndarray:
+    """Per-(head, channel) max-minus-min gap.
+
+    ``x`` has shape ``(heads, tokens, channels)``; the gap reduces over the
+    token axis, returning ``(heads, channels)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return x.max(axis=-2) - x.min(axis=-2)
+
+
+def head_priority(x: np.ndarray) -> np.ndarray:
+    """Eq. 11: ``gap(h) * std(h)`` per head; shape ``(heads,)``.
+
+    ``gap(h)`` is the range over *everything* in the head; ``std(h)`` is the
+    std-dev of the per-channel gaps.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    gap = x.max(axis=(-2, -1)) - x.min(axis=(-2, -1))
+    std = channel_gaps(x).std(axis=-1)
+    return gap * std
+
+
+def head_entropy(x: np.ndarray, bins: int = 64) -> np.ndarray:
+    """Ablation baseline: Shannon entropy of each head's value histogram."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty(x.shape[0])
+    for h in range(x.shape[0]):
+        hist, _ = np.histogram(x[h].ravel(), bins=bins)
+        p = hist / max(hist.sum(), 1)
+        p = p[p > 0]
+        out[h] = float(-(p * np.log(p)).sum())
+    return out
+
+
+def head_minmax(x: np.ndarray) -> np.ndarray:
+    """Ablation baseline: overall min-max range of the head."""
+    x = np.asarray(x, dtype=np.float64)
+    return x.max(axis=(-2, -1)) - x.min(axis=(-2, -1))
+
+
+def head_variation(x: np.ndarray) -> np.ndarray:
+    """Ablation baseline: variation (std) of the channel-wise gaps only."""
+    return channel_gaps(x).std(axis=-1)
+
+
+def head_scores(x: np.ndarray, method: HeadSelectionMethod) -> np.ndarray:
+    """Dispatch a selector; higher score == more sensitive to quantization."""
+    method = HeadSelectionMethod(method)
+    if method is HeadSelectionMethod.PRIORITY:
+        return head_priority(x)
+    if method is HeadSelectionMethod.ENTROPY:
+        return head_entropy(x)
+    if method is HeadSelectionMethod.MINMAX:
+        return head_minmax(x)
+    if method is HeadSelectionMethod.VARIATION:
+        return head_variation(x)
+    raise ValueError(f"{method} requires an RNG; use select_two_bit_heads")
+
+
+def select_two_bit_heads(
+    k: np.ndarray,
+    v: np.ndarray,
+    n_two_bit: int,
+    method: HeadSelectionMethod = HeadSelectionMethod.PRIORITY,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Pick the ``n_two_bit`` lowest-priority heads (Eq. 12).
+
+    Scores from keys and values are combined by summation: a head matters if
+    *either* tensor is quantization-sensitive.  Returns a boolean mask of
+    shape ``(heads,)`` (True = compress this head to 2-bit).
+    """
+    n_heads = np.asarray(k).shape[0]
+    if not 0 <= n_two_bit <= n_heads:
+        raise ValueError(f"n_two_bit={n_two_bit} out of range for {n_heads} heads")
+    method = HeadSelectionMethod(method)
+    mask = np.zeros(n_heads, dtype=bool)
+    if n_two_bit == 0:
+        return mask
+    if method is HeadSelectionMethod.RANDOM:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        mask[rng.choice(n_heads, size=n_two_bit, replace=False)] = True
+        return mask
+    scores = head_scores(k, method) + head_scores(v, method)
+    order = np.argsort(scores, kind="stable")  # ascending: lowest first
+    mask[order[:n_two_bit]] = True
+    return mask
+
+
+def assign_head_bits(two_bit_mask: np.ndarray, high_bits: int = 4) -> np.ndarray:
+    """Translate a 2-bit mask into a per-head bit-width array."""
+    mask = np.asarray(two_bit_mask, dtype=bool)
+    return np.where(mask, 2, high_bits).astype(np.int32)

@@ -1,0 +1,214 @@
+"""TurboAttention prefill kernel (paper Algorithm 1).
+
+The flash-attention tiling loop with three changes:
+
+1. Q/K/V tiles are quantized to symmetric INT8 (scale ``max|x|/119`` per
+   (head, tile)) and both MatMuls run as integer GEMMs (Eq. 6).
+2. The exponential — both the probability tile and the running-max
+   correction factor — is SAS instead of FP32 ``exp``.
+3. After a key/value tile is consumed it is progressively compressed
+   (INT8 -> INT4/2, channel-wise, integer scales) and written to the
+   quantized KV cache; the ragged tail that doesn't fill a block goes to
+   the decode buffer instead, already in INT8 under the universal scale.
+
+Grouped-query attention is supported: ``q`` may carry ``G`` query heads per
+KV head; the kernel broadcasts K/V across the group while the cache stores
+only the KV heads.
+
+Numerics note: integer products are computed with int32 accumulation via
+:func:`repro.quant.integer_gemm.int_matmul` and then scaled in float64.
+Because every scale here is a per-(head, tile) *scalar*, this is bit-exact
+to an implementation that keeps the accumulator in integers until the final
+scaling, i.e. exactly what the Triton kernel in the paper executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.attention.masks import causal_mask_block
+from repro.core.buffer import DecodeBuffer
+from repro.core.config import TurboConfig
+from repro.core.kvcache import QuantizedKVCache
+from repro.fp.formats import fp16_matmul
+from repro.quant.integer_gemm import int_matmul
+from repro.sas.softmax import SAS
+
+__all__ = ["PrefillResult", "turbo_prefill", "quantize_tile"]
+
+
+@dataclass
+class PrefillResult:
+    """Output of the prefill kernel.
+
+    Attributes
+    ----------
+    output:
+        Attention output, shape ``(q_heads, n, head_dim)``.
+    lse:
+        Row-wise log-sum-exp, shape ``(q_heads, n)``.
+    cache:
+        The progressive KV cache holding all full blocks.
+    buffer:
+        Decode buffer holding the ragged tail tokens (may be empty).
+    head_bits:
+        Per-KV-head storage bit-widths used.
+    """
+
+    output: np.ndarray
+    lse: np.ndarray
+    cache: QuantizedKVCache
+    buffer: DecodeBuffer
+    head_bits: np.ndarray
+
+
+def quantize_tile(
+    x: np.ndarray, max_code: int, scale: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric INT8 quantization with one scalar scale per leading index.
+
+    Statistics reduce over the last two axes (tokens x channels of a tile),
+    matching Algorithm 1's ``s = max(abs(X)) / 119`` per tile.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if scale is None:
+        absmax = np.abs(x).max(axis=(-2, -1), keepdims=True)
+        scale = np.maximum(absmax, 1e-12) / float(max_code)
+    codes = np.clip(np.rint(x / scale), -max_code, max_code).astype(np.int8)
+    return codes, scale
+
+
+def _exp_fn(config: TurboConfig) -> Callable[[np.ndarray], np.ndarray]:
+    if config.use_sas:
+        return SAS(config.sas)
+    return lambda x: np.where(np.isfinite(x), np.exp(np.minimum(x, 0.0)), 0.0)
+
+
+def turbo_prefill(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    config: TurboConfig,
+    head_bits: np.ndarray,
+    causal: bool = True,
+    scale: Optional[float] = None,
+) -> PrefillResult:
+    """Run Algorithm 1 over a full prompt.
+
+    Parameters
+    ----------
+    q:
+        Queries, shape ``(q_heads, n, head_dim)``.
+    k, v:
+        Keys/values, shape ``(kv_heads, n, head_dim)`` with
+        ``q_heads % kv_heads == 0``.
+    config:
+        Kernel hyper-parameters.
+    head_bits:
+        Per-KV-head storage widths (from
+        :func:`repro.core.headwise.assign_head_bits` or uniform).
+    causal:
+        Apply the causal mask (always true for LLM prefill; off for tests).
+    scale:
+        Score scale, default ``1/sqrt(head_dim)``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    hq, n, d = q.shape
+    hkv, nk, _ = k.shape
+    if hq % hkv != 0:
+        raise ValueError(f"q_heads {hq} not a multiple of kv_heads {hkv}")
+    g = hq // hkv
+    if scale is None:
+        scale = 1.0 / np.sqrt(d)
+    offset = nk - n
+    exp = _exp_fn(config)
+    mc = config.int8_max_code
+
+    qg = q.reshape(hkv, g, n, d)
+    bq, bk = config.block_q, config.block_k
+
+    # --- Pass 0: quantize K/V tiles once; codes serve compute AND storage.
+    k_tiles: List[Tuple[np.ndarray, np.ndarray]] = []
+    v_tiles: List[Tuple[np.ndarray, np.ndarray]] = []
+    bounds = [(s, min(s + bk, nk)) for s in range(0, nk, bk)]
+    for ks, ke in bounds:
+        kc, ksc = quantize_tile(k[:, ks:ke, :], mc)
+        vc, vsc = quantize_tile(v[:, ks:ke, :], mc)
+        k_tiles.append((kc, ksc))
+        v_tiles.append((vc, vsc))
+
+    # --- Storage: full blocks go to the cache; the ragged tail to the buffer.
+    cache = QuantizedKVCache(hkv, d, head_bits=head_bits, block_size=bk)
+    k_univ = np.maximum(np.abs(k).max(axis=(-2, -1), keepdims=True), 1e-12) / float(mc)
+    v_univ = np.maximum(np.abs(v).max(axis=(-2, -1), keepdims=True), 1e-12) / float(mc)
+    buffer = DecodeBuffer(
+        hkv, d, capacity=config.buffer_size,
+        k_scale=k_univ, v_scale=v_univ, clamp_code=config.clamp_code,
+    )
+    for j, (ks, ke) in enumerate(bounds):
+        if ke - ks == bk:
+            cache.append_block(
+                k_tiles[j][0], v_tiles[j][0],
+                k_tiles[j][1].reshape(hkv, 1, 1), v_tiles[j][1].reshape(hkv, 1, 1),
+            )
+        else:
+            buffer.extend(k[:, ks:ke, :], v[:, ks:ke, :])
+
+    # --- Compute: tiled online-softmax attention on the INT8 codes.
+    out = np.zeros((hkv, g, n, d), dtype=np.float64)
+    lse = np.zeros((hkv, g, n), dtype=np.float64)
+    for qs in range(0, n, bq):
+        qe = min(qs + bq, n)
+        q_tile = qg[:, :, qs:qe, :]
+        qc, qsc = quantize_tile(q_tile, mc)  # scale shape (hkv, g, 1, 1)
+        m = np.full((hkv, g, qe - qs), -np.inf)
+        l = np.zeros((hkv, g, qe - qs))
+        acc = np.zeros((hkv, g, qe - qs, d))
+        for j, (ks, ke) in enumerate(bounds):
+            if causal and ks > qe - 1 + offset:
+                break
+            kc, ksc = k_tiles[j]
+            vc, vsc = v_tiles[j]
+            if config.quantize_matmuls:
+                s_tile = (
+                    qsc
+                    * ksc[:, None, :, :]
+                    * int_matmul(qc, np.swapaxes(kc, -1, -2)[:, None, :, :])
+                ) * scale
+            else:
+                s_tile = fp16_matmul(
+                    q_tile, np.swapaxes(k[:, ks:ke, :], -1, -2)[:, None, :, :]
+                ) * scale
+            if causal:
+                s_tile = s_tile + causal_mask_block(qs, qe - qs, ks, ke - ks, offset)
+            m_new = np.maximum(m, s_tile.max(axis=-1))
+            with np.errstate(invalid="ignore"):
+                corr = exp(m - m_new)
+            corr = np.where(np.isfinite(m), corr, 0.0)
+            p = exp(s_tile - m_new[..., None])
+            l = corr * l + p.sum(axis=-1)
+            if config.quantize_matmuls:
+                pc, psc = quantize_tile(p, mc)
+                pv = psc * vsc[:, None, :, :] * int_matmul(pc, vc[:, None, :, :])
+            else:
+                pv = fp16_matmul(
+                    p.astype(np.float16).astype(np.float64), v[:, ks:ke, :][:, None, :, :]
+                )
+            acc = corr[..., None] * acc + pv
+            m = m_new
+        safe_l = np.where(l > 0, l, 1.0)
+        out[:, :, qs:qe, :] = acc / safe_l[..., None]
+        lse[:, :, qs:qe] = np.where(l > 0, m + np.log(safe_l), -np.inf)
+
+    return PrefillResult(
+        output=out.reshape(hq, n, d),
+        lse=lse.reshape(hq, n),
+        cache=cache,
+        buffer=buffer,
+        head_bits=np.asarray(head_bits, dtype=np.int32),
+    )

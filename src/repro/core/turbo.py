@@ -1,0 +1,118 @@
+"""User-facing TurboAttention API.
+
+:class:`TurboAttention` bundles head-selection, the prefill kernel, the
+quantized cache/buffer state and the decode kernel behind two calls::
+
+    turbo = TurboAttention(TurboConfig(mixed_precision=True))
+    out, state = turbo.prefill(q, k, v)          # (heads, n, d) each
+    ...
+    out_t = turbo.decode_step(q_t, k_t, v_t, state)   # (heads, d) each
+
+The state object exposes honest storage accounting
+(:attr:`TurboKVState.storage_bits`) used by the memory/throughput models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.buffer import DecodeBuffer
+from repro.core.config import TurboConfig
+from repro.core.decode import turbo_decode_step
+from repro.core.headwise import HeadSelectionMethod, assign_head_bits, select_two_bit_heads
+from repro.core.kvcache import QuantizedKVCache
+from repro.core.prefill import turbo_prefill
+
+__all__ = ["TurboAttention", "TurboKVState"]
+
+
+@dataclass
+class TurboKVState:
+    """Per-layer attention state: progressive cache + INT8 buffer."""
+
+    cache: QuantizedKVCache
+    buffer: DecodeBuffer
+    head_bits: np.ndarray
+
+    @property
+    def seq_len(self) -> int:
+        """Total tokens represented (cache blocks + staged buffer)."""
+        return self.cache.seq_len + len(self.buffer)
+
+    @property
+    def storage_bits(self) -> int:
+        return self.cache.storage_bits + self.buffer.storage_bits
+
+    @property
+    def storage_bytes(self) -> float:
+        return self.storage_bits / 8.0
+
+    def effective_bits_per_value(self) -> float:
+        """Average stored bits per K/V element across cache and buffer."""
+        n = 2 * self.seq_len * self.cache.n_heads * self.cache.head_dim
+        return self.storage_bits / n if n else 0.0
+
+    def compression_ratio(self, reference_bits: int = 16) -> float:
+        n = 2 * self.seq_len * self.cache.n_heads * self.cache.head_dim
+        if n == 0 or self.storage_bits == 0:
+            return 1.0
+        return (n * reference_bits) / self.storage_bits
+
+
+class TurboAttention:
+    """TurboAttention = FlashQ + SAS behind a prefill/decode interface."""
+
+    def __init__(self, config: Optional[TurboConfig] = None):
+        self.config = config if config is not None else TurboConfig()
+
+    def choose_head_bits(self, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Assign per-head bit-widths from prefill K/V statistics.
+
+        Uniform ``kv_bits`` unless mixed precision is enabled, in which case
+        the configured selector marks ``two_bit_fraction`` of the heads for
+        2-bit storage (Eq. 12) and the rest stay at 4-bit.
+        """
+        n_heads = np.asarray(k).shape[0]
+        cfg = self.config
+        if not cfg.mixed_precision:
+            return np.full(n_heads, cfg.kv_bits, dtype=np.int32)
+        n_two = int(round(cfg.two_bit_fraction * n_heads))
+        mask = select_two_bit_heads(
+            k, v, n_two, method=HeadSelectionMethod(cfg.head_selection)
+        )
+        return assign_head_bits(mask, high_bits=4)
+
+    def prefill(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        causal: bool = True,
+        scale: Optional[float] = None,
+        head_bits: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, TurboKVState]:
+        """Process the prompt; returns output and the compressed KV state."""
+        if head_bits is None:
+            head_bits = self.choose_head_bits(k, v)
+        result = turbo_prefill(
+            q, k, v, config=self.config, head_bits=head_bits, causal=causal, scale=scale
+        )
+        state = TurboKVState(cache=result.cache, buffer=result.buffer, head_bits=result.head_bits)
+        return result.output, state
+
+    def decode_step(
+        self,
+        q_t: np.ndarray,
+        k_t: np.ndarray,
+        v_t: np.ndarray,
+        state: TurboKVState,
+        scale: Optional[float] = None,
+    ) -> np.ndarray:
+        """Process one generated token against the compressed state."""
+        return turbo_decode_step(
+            q_t, k_t, v_t, cache=state.cache, buffer=state.buffer,
+            config=self.config, scale=scale,
+        )

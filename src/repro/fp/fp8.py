@@ -1,0 +1,86 @@
+"""FP8 storage emulation (E4M3 and E5M2).
+
+FlashAttention-3 — the paper's strongest baseline — offers FP8 attention
+on Hopper.  Emulating the two OCP FP8 formats lets the library compare
+TurboAttention's INT8 compute stage against an FP8 alternative on equal
+footing (see :class:`repro.baselines.fp8_flash.FP8Attention`).
+
+Rounding is round-to-nearest-even, implemented by scaling into the
+format's subnormal-aware grid via float32 bit manipulation:
+
+* **E4M3**: 4 exponent bits, 3 mantissa bits, max 448, no inf (NaN only).
+* **E5M2**: 5 exponent bits, 2 mantissa bits, max 57344.
+
+Values beyond the representable range saturate to the max magnitude (the
+behaviour of NVIDIA's conversion instructions with saturation enabled,
+which all attention kernels use).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.fp.formats import FloatFormat
+
+__all__ = ["FP8_E4M3", "FP8_E5M2", "quantize_fp8", "fp8_matmul"]
+
+FP8_E4M3 = FloatFormat(name="fp8_e4m3", exponent_bits=4, mantissa_bits=3, bytes=1)
+FP8_E5M2 = FloatFormat(name="fp8_e5m2", exponent_bits=5, mantissa_bits=2, bytes=1)
+
+_SPEC = {
+    # name -> (max_normal, min_normal_exponent, mantissa_bits)
+    "fp8_e4m3": (448.0, -6, 3),
+    "fp8_e5m2": (57344.0, -14, 2),
+}
+
+
+def quantize_fp8(x: np.ndarray, fmt: FloatFormat = FP8_E4M3) -> np.ndarray:
+    """Round ``x`` to the FP8 grid (round-to-nearest-even, saturating)."""
+    if fmt.name not in _SPEC:
+        raise ValueError(f"not an FP8 format: {fmt.name!r}")
+    max_normal, min_exp, mant = _SPEC[fmt.name]
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    mag = np.abs(x)
+    out = np.zeros_like(mag)
+
+    finite = np.isfinite(mag) & (mag > 0)
+    clipped = np.minimum(mag, max_normal)
+
+    # Exponent of each value, clamped to the subnormal boundary.
+    exp = np.floor(np.log2(np.where(finite, clipped, 1.0)))
+    exp = np.maximum(exp, float(min_exp))
+    # Quantum = 2^(exp - mantissa_bits); round to nearest even multiple.
+    quantum = np.exp2(exp - mant)
+    q = clipped / quantum
+    rounded = np.rint(q)
+    # Values that round up across a binade remain representable because
+    # 2^{e+1} is on the next binade's grid.
+    out = np.where(finite, rounded * quantum, 0.0)
+    out = np.minimum(out, max_normal)
+    return sign * out
+
+
+def fp8_matmul(
+    a: np.ndarray, b: np.ndarray, fmt: FloatFormat = FP8_E4M3
+) -> np.ndarray:
+    """Tensor-core-style FP8 MatMul: FP8 inputs, FP32 accumulation."""
+    a8 = quantize_fp8(a, fmt)
+    b8 = quantize_fp8(b, fmt)
+    return (a8.astype(np.float32) @ b8.astype(np.float32)).astype(np.float64)
+
+
+def fp8_tile_quantize(
+    x: np.ndarray, fmt: FloatFormat = FP8_E4M3, target: float = 224.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-tile scaled FP8: scale the tile so its max lands at ``target``
+    (half the E4M3 range, the standard FP8 attention recipe), then round.
+
+    Returns ``(fp8_values, scale)`` with ``x ~= fp8_values * scale``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    absmax = np.abs(x).max(axis=(-2, -1), keepdims=True)
+    scale = np.maximum(absmax, 1e-12) / target
+    return quantize_fp8(x / scale, fmt), scale

@@ -1,0 +1,27 @@
+"""Experiment harness: one runner per paper table/figure.
+
+Every module exposes ``run(quick=False)`` returning structured results and
+``main()`` printing them in the paper's layout.  ``quick=True`` shrinks
+workloads for CI/tests; benchmarks call the full versions.
+
+| Paper artifact | Runner |
+|---|---|
+| Figure 1a/1b/1c | :mod:`repro.harness.fig1` |
+| Table 1         | :mod:`repro.harness.table1` |
+| Figure 4/8/9    | :mod:`repro.harness.fig4` |
+| Figure 5        | :mod:`repro.harness.fig5` |
+| Table 2         | :mod:`repro.harness.table2` |
+| Figure 6        | :mod:`repro.harness.fig6` |
+| Figure 7a       | :mod:`repro.harness.fig7a` |
+| Figure 7b       | :mod:`repro.harness.fig7b` |
+| Table 3         | :mod:`repro.harness.table3` |
+| Table 4         | :mod:`repro.harness.table4` |
+| Table 5         | :mod:`repro.harness.table5` |
+| Figure 10       | :mod:`repro.harness.fig10` |
+
+Run everything: ``python -m repro.harness.run_all [--quick]``.
+"""
+
+from repro.harness.common import render_table
+
+__all__ = ["render_table"]

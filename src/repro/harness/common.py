@@ -1,0 +1,54 @@
+"""Shared harness utilities: table rendering and method registries."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.baselines import (
+    FP16Attention,
+    GEARAttention,
+    GEARConfig,
+    KIVIAttention,
+    KIVIConfig,
+)
+from repro.core import TurboAttention, TurboConfig
+
+__all__ = ["render_table", "accuracy_method_registry"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Plain-text table with aligned columns (markdown-ish)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def accuracy_method_registry() -> Dict[str, Callable[[], object]]:
+    """Backend factories for the accuracy experiments (Table 2 row set).
+
+    Naming follows the paper: the 4-bit group (KIVI/GEAR at 4-bit vs
+    TurboAttention uniform 4-bit) and the 3-bit group (KIVI/GEAR at 3-bit
+    vs TurboAttention head-wise mixed 2/4-bit, which matches the 3-bit
+    simulated cache size).
+    """
+    return {
+        "fp16": FP16Attention,
+        "kivi_4bit": lambda: KIVIAttention(KIVIConfig(bits=4)),
+        "gear_4bit": lambda: GEARAttention(GEARConfig(bits=4)),
+        "turbo_4bit": lambda: TurboAttention(TurboConfig(kv_bits=4)),
+        "kivi_3bit": lambda: KIVIAttention(KIVIConfig(bits=3)),
+        "gear_3bit": lambda: GEARAttention(GEARConfig(bits=3)),
+        "turbo_mixed": lambda: TurboAttention(TurboConfig(mixed_precision=True)),
+    }

@@ -1,0 +1,137 @@
+"""Figure 1: latency profile of Phi3-medium on A100.
+
+Three panels:
+
+* **1a** — share of end-to-end generation time spent in attention as the
+  prompt grows (8:1 prompt:output ratio), for the FP16 pipeline; the paper
+  shows attention rising to ~80% at >80k contexts.
+* **1b** — attention *kernel* time share by phase (MatMul / softmax /
+  dequantization / other) per method, from the tile-level simulator.
+* **1c** — end-to-end time share (linear vs attention internals) per
+  method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.common import render_table
+from repro.perf.attention_costs import METHODS
+from repro.perf.e2e import ModelGeometry, phase_breakdown
+from repro.perf.kernelsim import simulate_attention_kernel
+
+__all__ = ["run", "main", "Fig1aPoint"]
+
+FIG1B_METHODS = ("fp16", "kivi4", "gear4", "turbo_mixed")
+
+
+@dataclass
+class Fig1aPoint:
+    prompt_len: int
+    attention_share: float
+
+
+def run_fig1a(
+    model: ModelGeometry, prompt_lens: Sequence[int], batch: int = 8
+) -> List[Fig1aPoint]:
+    """Attention share of total generation time, FP16, 8:1 prompt:output.
+
+    Batch 8: the paper profiles a serving configuration where the decode
+    weight reads amortize across the batch, so the per-step cost is
+    attention-(KV-)dominated — that's what pushes the attention share to
+    ~80% at >80k contexts.
+    """
+    points = []
+    for n in prompt_lens:
+        parts = phase_breakdown(METHODS["fp16"], model, batch, n, max(1, n // 8))
+        points.append(Fig1aPoint(prompt_len=n, attention_share=parts["attention"] / parts["total"]))
+    return points
+
+
+def run_fig1b(
+    model: ModelGeometry, context: int = 8192, batch: int = 4
+) -> Dict[str, Dict[str, float]]:
+    """Per-method decode-kernel phase shares."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in FIG1B_METHODS:
+        t = simulate_attention_kernel(
+            METHODS[name], model.attention_geometry(batch, 1, context), prefill=False
+        )
+        total = t.pop("total")
+        shares = {k: v / total for k, v in t.items() if v > 0}
+        shares["total_us"] = total * 1e6  # absolute, so shares aren't misread
+        out[name] = shares
+    return out
+
+
+def run_fig1c(
+    model: ModelGeometry, context: int = 8192, batch: int = 4, gen_len: int = 256
+) -> Dict[str, Dict[str, float]]:
+    """End-to-end linear/attention split per method."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in FIG1B_METHODS:
+        parts = phase_breakdown(METHODS[name], model, batch, context, gen_len)
+        out[name] = {
+            "linear": parts["linear"] / parts["total"],
+            "attention": parts["attention"] / parts["total"],
+            "total_s": parts["total"],
+        }
+    return out
+
+
+def run(quick: bool = False):
+    model = ModelGeometry.phi3_medium()
+    lens = (1024, 4096, 16384, 32768) if quick else (1024, 4096, 8192, 16384, 32768, 65536, 98304)
+    return {
+        "fig1a": run_fig1a(model, lens),
+        "fig1b": run_fig1b(model, context=4096 if quick else 8192),
+        "fig1c": run_fig1c(model, context=4096 if quick else 8192),
+    }
+
+
+def main(quick: bool = False) -> str:
+    res = run(quick=quick)
+    blocks = []
+    blocks.append(
+        render_table(
+            ["prompt", "attention share %"],
+            [[p.prompt_len, f"{p.attention_share * 100:.1f}"] for p in res["fig1a"]],
+            title="Figure 1a: attention share of e2e latency (FP16, 8:1)",
+        )
+    )
+    phases = sorted({p for d in res["fig1b"].values() for p in d if p != "total_us"})
+    blocks.append(
+        render_table(
+            ["method"] + phases + ["total (us)"],
+            [
+                [m]
+                + [f"{res['fig1b'][m].get(p, 0) * 100:.1f}" for p in phases]
+                + [f"{res['fig1b'][m]['total_us']:.0f}"]
+                for m in res["fig1b"]
+            ],
+            title="Figure 1b: decode attention-kernel time share by phase (%)",
+        )
+    )
+    blocks.append(
+        render_table(
+            ["method", "linear %", "attention %", "total (s)"],
+            [
+                [
+                    m,
+                    f"{d['linear'] * 100:.1f}",
+                    f"{d['attention'] * 100:.1f}",
+                    f"{d['total_s']:.3f}",
+                ]
+                for m, d in res["fig1c"].items()
+            ],
+            title="Figure 1c: end-to-end time share",
+        )
+    )
+    text = "\n\n".join(blocks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

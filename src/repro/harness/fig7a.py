@@ -1,0 +1,82 @@
+"""Figure 7a: throughput vs batch size (Phi3-medium, ctx 1k, gen 125).
+
+Per-method tokens/s curves over a batch sweep with OOM cutoffs, plus each
+method's maximum throughput and its ratio to the FP16 baseline — the
+paper's headline 2.37x number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.common import render_table
+from repro.perf.attention_costs import METHODS
+from repro.perf.e2e import ModelGeometry
+from repro.perf.memory import paper_memory_model
+from repro.perf.throughput import ThroughputPoint, generation_throughput, max_throughput
+
+__all__ = ["run", "main", "PROMPT_LEN", "GEN_LEN"]
+
+PROMPT_LEN = 1024
+GEN_LEN = 125
+CURVE_METHODS = ("fp16", "kivi4", "gear4", "turbo4", "turbo_mixed")
+
+
+@dataclass
+class Fig7aResult:
+    curves: Dict[str, List[ThroughputPoint]]
+    best: Dict[str, ThroughputPoint]
+
+
+def run(quick: bool = False) -> Fig7aResult:
+    model = ModelGeometry.phi3_medium()
+    mem = paper_memory_model(model)
+    batches: Sequence[int] = (1, 4, 16, 64, 128) if quick else (1, 2, 4, 8, 16, 32, 64, 96, 128, 192, 256)
+    curves: Dict[str, List[ThroughputPoint]] = {}
+    best: Dict[str, ThroughputPoint] = {}
+    for name in CURVE_METHODS:
+        spec = METHODS[name]
+        curves[name] = [
+            generation_throughput(spec, model, b, PROMPT_LEN, GEN_LEN, memory=mem)
+            for b in batches
+        ]
+        best[name] = max_throughput(spec, model, PROMPT_LEN, GEN_LEN, memory=mem)
+    return Fig7aResult(curves=curves, best=best)
+
+
+def main(quick: bool = False) -> str:
+    res = run(quick=quick)
+    batches = [p.batch for p in next(iter(res.curves.values()))]
+    rows = []
+    for i, b in enumerate(batches):
+        row = [b]
+        for m in CURVE_METHODS:
+            p = res.curves[m][i]
+            row.append("OOM" if p.oom else f"{p.tokens_per_second:.0f}")
+        rows.append(row)
+    text = render_table(
+        ["batch"] + list(CURVE_METHODS),
+        rows,
+        title="Figure 7a: throughput (tokens/s), Phi3-medium, ctx 1k, gen 125",
+    )
+    base = res.best["fp16"].tokens_per_second
+    summary = [
+        [
+            m,
+            res.best[m].batch,
+            f"{res.best[m].tokens_per_second:.0f}",
+            f"{res.best[m].tokens_per_second / base:.2f}x",
+        ]
+        for m in CURVE_METHODS
+    ]
+    text += "\n\n" + render_table(
+        ["method", "best batch", "max tokens/s", "vs fp16"], summary,
+        title="Maximum throughput",
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Run every table/figure harness and print the paper-style outputs.
+
+Usage::
+
+    python -m repro.harness.run_all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import (
+    ablations,
+    needle,
+    serving_sim,
+    fig1,
+    fig4,
+    fig5,
+    fig6,
+    fig7a,
+    fig7b,
+    fig10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+RUNNERS = {
+    "fig1": fig1,
+    "table1": table1,
+    "table2": table2,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7a": fig7a,
+    "fig7b": fig7b,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig10": fig10,
+    "ablations": ablations,
+    "serving": serving_sim,
+    "needle": needle,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="shrunken workloads")
+    parser.add_argument(
+        "--only", nargs="*", choices=sorted(RUNNERS), help="subset of experiments"
+    )
+    args = parser.parse_args(argv)
+    names = args.only if args.only else list(RUNNERS)
+    for name in names:
+        t0 = time.time()
+        print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+        RUNNERS[name].main(quick=args.quick)
+        print(f"[{name}: {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

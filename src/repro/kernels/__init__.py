@@ -1,0 +1,69 @@
+"""Tile-level kernel VM.
+
+The paper implements TurboAttention as Triton kernels whose block sizes
+``B_r``/``B_c`` are "closely related to the device's SRAM capacity"
+(§5.6).  This subpackage makes that relationship executable:
+
+* :mod:`repro.kernels.isa` — a small tile instruction set (loads, MMAs,
+  softmax ops, quantize/dequantize, stores) with operand spaces (HBM /
+  shared memory / registers).
+* :mod:`repro.kernels.machine` — :class:`TileMachine`, an interpreter that
+  executes tile programs over NumPy buffers while enforcing per-space
+  capacity limits and accumulating operation counts compatible with
+  :class:`repro.perf.counts.OpCounts`.
+* :mod:`repro.kernels.programs` — builders that emit the TurboAttention
+  prefill inner loop (Algorithm 1) and the FP16 flash inner loop as tile
+  programs; executing them reproduces the reference kernels bit-for-bit,
+  and their resource reports answer "does this block size fit?".
+
+This is the bridge between the numerics (:mod:`repro.core`) and the
+performance model (:mod:`repro.perf`): one artifact that is simultaneously
+correct (validated against the kernels) and resource-aware (validated
+against the device limits).
+"""
+
+from repro.kernels.isa import (
+    Space,
+    Instruction,
+    Alloc,
+    Free,
+    Load,
+    Store,
+    MMA,
+    RowMax,
+    RowSum,
+    ExpApprox,
+    Elementwise,
+    QuantizeTile,
+    DequantizeTile,
+)
+from repro.kernels.machine import TileMachine, MachineLimits, ResourceReport
+from repro.kernels.programs import (
+    build_flash_tile_program,
+    build_turbo_tile_program,
+    run_attention_program,
+    max_feasible_block,
+)
+
+__all__ = [
+    "Space",
+    "Instruction",
+    "Alloc",
+    "Free",
+    "Load",
+    "Store",
+    "MMA",
+    "RowMax",
+    "RowSum",
+    "ExpApprox",
+    "Elementwise",
+    "QuantizeTile",
+    "DequantizeTile",
+    "TileMachine",
+    "MachineLimits",
+    "ResourceReport",
+    "build_flash_tile_program",
+    "build_turbo_tile_program",
+    "run_attention_program",
+    "max_feasible_block",
+]

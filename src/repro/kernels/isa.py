@@ -1,0 +1,265 @@
+"""Tile instruction set.
+
+Instructions operate on named tile buffers living in one of three spaces:
+
+* ``HBM`` — device memory; unbounded, but loads/stores are counted bytes.
+* ``SMEM`` — shared memory; bounded per CTA (the flash-attention staging
+  area for K/V tiles).
+* ``REG`` — register file; bounded; where accumulators and the running
+  max/sum vectors live.
+
+Each instruction knows how to execute itself against a
+:class:`repro.kernels.machine.TileMachine` environment (a dict of NumPy
+arrays plus space bookkeeping) and what operation counts it contributes.
+Dtypes are tracked per buffer ("fp32", "fp16", "int8", "int32"), and each
+element is charged its dtype width toward the owning space's capacity —
+this is exactly the pressure argument the paper makes for why INT8 tiles
+allow larger blocks than FP16/FP32 ones (§2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Space",
+    "DTYPE_BYTES",
+    "Instruction",
+    "Alloc",
+    "Free",
+    "Load",
+    "Store",
+    "MMA",
+    "RowMax",
+    "RowSum",
+    "ExpApprox",
+    "Elementwise",
+    "QuantizeTile",
+    "DequantizeTile",
+]
+
+
+class Space(enum.Enum):
+    HBM = "hbm"
+    SMEM = "smem"
+    REG = "reg"
+
+
+DTYPE_BYTES = {"fp32": 4, "fp16": 2, "int8": 1, "int32": 4}
+
+
+@dataclass
+class Instruction:
+    """Base class; subclasses implement ``execute(machine)``."""
+
+    def execute(self, machine) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class Alloc(Instruction):
+    """Reserve a named tile buffer in a space."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    space: Space
+
+    def execute(self, machine) -> None:
+        machine.alloc(self.name, self.shape, self.dtype, self.space)
+
+
+@dataclass
+class Free(Instruction):
+    """Release a buffer (capacity returns to the space)."""
+
+    name: str
+
+    def execute(self, machine) -> None:
+        machine.free(self.name)
+
+
+@dataclass
+class Load(Instruction):
+    """Copy ``src`` (HBM-resident array provided by the host) into ``dst``.
+
+    The host array is looked up in the machine's HBM environment; ``index``
+    optionally slices it first (tile selection).
+    """
+
+    dst: str
+    src: str
+    index: Optional[Tuple[slice, ...]] = None
+
+    def execute(self, machine) -> None:
+        data = machine.hbm[self.src]
+        if self.index is not None:
+            data = data[self.index]
+        machine.write(self.dst, np.asarray(data))
+        machine.counts.bytes_read += data.size * DTYPE_BYTES[machine.dtype_of(self.dst)]
+
+
+@dataclass
+class Store(Instruction):
+    """Copy a buffer back to an HBM array (optionally into a slice)."""
+
+    src: str
+    dst: str
+    index: Optional[Tuple[slice, ...]] = None
+
+    def execute(self, machine) -> None:
+        data = machine.read(self.src)
+        if self.index is not None:
+            machine.hbm[self.dst][self.index] = data
+        else:
+            machine.hbm[self.dst] = data.copy()
+        machine.counts.bytes_written += data.size * DTYPE_BYTES[machine.dtype_of(self.src)]
+
+
+@dataclass
+class MMA(Instruction):
+    """Tile MatMul ``dst = a @ b^T?`` with dtype-dependent accounting.
+
+    INT8 operands charge ``int8_tc`` ops; FP16 operands charge ``fp16_tc``.
+    Accumulation is int32 / fp32 respectively (the accumulator buffer's
+    dtype must reflect that).
+    """
+
+    dst: str
+    a: str
+    b: str
+    transpose_b: bool = False
+    accumulate: bool = False
+
+    def execute(self, machine) -> None:
+        a = machine.read(self.a)
+        b = machine.read(self.b)
+        if self.transpose_b:
+            b = np.swapaxes(b, -1, -2)
+        if machine.dtype_of(self.a) == "int8":
+            out = a.astype(np.int64) @ b.astype(np.int64)
+            if np.abs(out).max(initial=0) > np.iinfo(np.int32).max:
+                raise OverflowError("int32 accumulator overflow in MMA")
+            machine.counts.int8_tc += 2 * a.shape[-2] * a.shape[-1] * b.shape[-1]
+        else:
+            out = a.astype(np.float64) @ b.astype(np.float64)
+            machine.counts.fp16_tc += 2 * a.shape[-2] * a.shape[-1] * b.shape[-1]
+        if self.accumulate:
+            out = machine.read(self.dst) + out
+        machine.write(self.dst, out)
+
+
+@dataclass
+class RowMax(Instruction):
+    """``dst = max(dst_prev?, rowmax(src))`` over the last axis."""
+
+    dst: str
+    src: str
+    combine: bool = False
+
+    def execute(self, machine) -> None:
+        m = machine.read(self.src).max(axis=-1)
+        if self.combine:
+            m = np.maximum(machine.read(self.dst), m)
+        machine.write(self.dst, m)
+        machine.counts.fp32_cuda += machine.read(self.src).size
+
+
+@dataclass
+class RowSum(Instruction):
+    """``dst = rowsum(src)`` over the last axis."""
+
+    dst: str
+    src: str
+
+    def execute(self, machine) -> None:
+        machine.write(self.dst, machine.read(self.src).sum(axis=-1))
+        machine.counts.fp32_cuda += machine.read(self.src).size
+
+
+@dataclass
+class ExpApprox(Instruction):
+    """Exponential of ``src - bias[..., None]`` into ``dst``.
+
+    ``exp_fn`` is ``np.exp`` (FP32 CUDA path) or a SAS instance (tensor-core
+    path); accounting follows the choice.
+    """
+
+    dst: str
+    src: str
+    bias: Optional[str] = None
+    exp_fn: Callable[[np.ndarray], np.ndarray] = field(default=np.exp)
+    sas: bool = False
+
+    def execute(self, machine) -> None:
+        x = machine.read(self.src)
+        if self.bias is not None:
+            x = x - machine.read(self.bias)[..., None]
+        with np.errstate(invalid="ignore", over="ignore"):
+            out = self.exp_fn(x)
+        out = np.where(np.isfinite(x), out, 0.0)
+        machine.write(self.dst, out)
+        if self.sas:
+            machine.counts.fp16_tc += 8 * x.size
+            machine.counts.fp32_cuda += 2 * x.size
+        else:
+            machine.counts.fp32_cuda += 8 * x.size
+
+
+@dataclass
+class Elementwise(Instruction):
+    """Generic register-level elementwise op ``dst = fn(*srcs)``.
+
+    Used for the online-softmax rescale arithmetic; charged as FP32 CUDA
+    work proportional to the output size.
+    """
+
+    dst: str
+    srcs: Tuple[str, ...]
+    fn: Callable[..., np.ndarray] = field(default=lambda x: x)
+
+    def execute(self, machine) -> None:
+        args = [machine.read(s) for s in self.srcs]
+        out = np.asarray(self.fn(*args), dtype=np.float64)
+        machine.write(self.dst, out)
+        machine.counts.fp32_cuda += out.size
+
+
+@dataclass
+class QuantizeTile(Instruction):
+    """Symmetric INT8 quantization of a tile: emits codes + scalar scale."""
+
+    dst_codes: str
+    dst_scale: str
+    src: str
+    max_code: int = 119
+
+    def execute(self, machine) -> None:
+        x = machine.read(self.src)
+        scale = max(float(np.abs(x).max()), 1e-12) / float(self.max_code)
+        codes = np.clip(np.rint(x / scale), -self.max_code, self.max_code)
+        machine.write(self.dst_codes, codes)
+        machine.write(self.dst_scale, np.array(scale))
+        machine.counts.fp32_cuda += 2 * x.size
+
+
+@dataclass
+class DequantizeTile(Instruction):
+    """Integer progressive decode: ``dst = (codes + z) * s`` (int8 out)."""
+
+    dst: str
+    codes: str
+    s_int: str
+    z_int: str
+
+    def execute(self, machine) -> None:
+        codes = machine.read(self.codes)
+        s = machine.read(self.s_int)
+        z = machine.read(self.z_int)
+        out = np.clip((codes + z) * s, -127, 127)
+        machine.write(self.dst, out)
+        machine.counts.int_alu += 8 * codes.size

@@ -1,0 +1,144 @@
+"""The tile machine: executes instruction lists under capacity limits.
+
+Models one CTA of an A100-class GPU:
+
+* shared memory budget (A100: 164 KiB usable per CTA with the carve-out);
+* register-file budget (A100: 256 KiB per SM; a single resident CTA may
+  address all of it — using the full size models the best case, and any
+  occupancy target can be expressed by shrinking the limits).
+
+Every live buffer is charged ``elements x dtype_bytes`` against its space;
+exceeding a budget raises :class:`CapacityError` at the allocating
+instruction, which is exactly the failure a Triton kernel author hits when
+a block size doesn't fit.  The machine also accumulates
+:class:`repro.perf.counts.OpCounts`, so an executed program yields both a
+numeric result and a cost-model input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.kernels.isa import DTYPE_BYTES, Instruction, Space
+from repro.perf.counts import OpCounts
+
+__all__ = ["MachineLimits", "CapacityError", "ResourceReport", "TileMachine"]
+
+
+@dataclass(frozen=True)
+class MachineLimits:
+    """Per-CTA capacity limits in bytes."""
+
+    smem_bytes: int = 164 * 1024
+    reg_bytes: int = 256 * 1024
+
+
+class CapacityError(RuntimeError):
+    """A tile allocation exceeded its space's budget."""
+
+
+@dataclass
+class ResourceReport:
+    """Peak usage and operation counts of one program execution."""
+
+    peak_smem_bytes: int
+    peak_reg_bytes: int
+    counts: OpCounts
+
+    def fits(self, limits: MachineLimits) -> bool:
+        return (
+            self.peak_smem_bytes <= limits.smem_bytes
+            and self.peak_reg_bytes <= limits.reg_bytes
+        )
+
+
+@dataclass
+class _Buffer:
+    shape: Tuple[int, ...]
+    dtype: str
+    space: Space
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape)) * DTYPE_BYTES[self.dtype]
+
+
+class TileMachine:
+    """Interpreter for tile programs.
+
+    ``hbm`` is the host-provided environment: named NumPy arrays the
+    program may :class:`~repro.kernels.isa.Load` from and
+    :class:`~repro.kernels.isa.Store` to.
+    """
+
+    def __init__(self, limits: MachineLimits = MachineLimits(), enforce: bool = True):
+        self.limits = limits
+        self.enforce = enforce
+        self.hbm: Dict[str, np.ndarray] = {}
+        self.buffers: Dict[str, _Buffer] = {}
+        self.counts = OpCounts()
+        self._usage = {Space.SMEM: 0, Space.REG: 0}
+        self._peak = {Space.SMEM: 0, Space.REG: 0}
+
+    # -- buffer management -------------------------------------------------
+    def alloc(self, name: str, shape: Tuple[int, ...], dtype: str, space: Space) -> None:
+        if name in self.buffers:
+            raise KeyError(f"buffer {name!r} already allocated")
+        if dtype not in DTYPE_BYTES:
+            raise ValueError(f"unknown dtype {dtype!r}")
+        buf = _Buffer(shape=tuple(shape), dtype=dtype, space=space,
+                      data=np.zeros(shape, dtype=np.float64))
+        if space is not Space.HBM:
+            self._usage[space] += buf.nbytes
+            self._peak[space] = max(self._peak[space], self._usage[space])
+            budget = (
+                self.limits.smem_bytes if space is Space.SMEM else self.limits.reg_bytes
+            )
+            if self.enforce and self._usage[space] > budget:
+                raise CapacityError(
+                    f"{space.value} over budget allocating {name!r}: "
+                    f"{self._usage[space]} > {budget} bytes"
+                )
+        self.buffers[name] = buf
+
+    def free(self, name: str) -> None:
+        buf = self.buffers.pop(name)
+        if buf.space is not Space.HBM:
+            self._usage[buf.space] -= buf.nbytes
+
+    def read(self, name: str) -> np.ndarray:
+        return self.buffers[name].data
+
+    def write(self, name: str, data: np.ndarray) -> None:
+        buf = self.buffers[name]
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != buf.shape:
+            raise ValueError(
+                f"shape mismatch writing {name!r}: {data.shape} != {buf.shape}"
+            )
+        if buf.dtype in ("int8", "int32"):
+            rounded = np.rint(data)
+            if not np.allclose(rounded, data):
+                raise ValueError(f"non-integer data written to integer buffer {name!r}")
+            data = rounded
+        buf.data = data
+
+    def dtype_of(self, name: str) -> str:
+        return self.buffers[name].dtype
+
+    # -- execution ---------------------------------------------------------
+    def run(self, program: Iterable[Instruction]) -> ResourceReport:
+        for instr in program:
+            instr.execute(self)
+        return self.report()
+
+    def report(self) -> ResourceReport:
+        return ResourceReport(
+            peak_smem_bytes=self._peak[Space.SMEM],
+            peak_reg_bytes=self._peak[Space.REG],
+            counts=self.counts,
+        )

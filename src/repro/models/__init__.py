@@ -1,0 +1,37 @@
+"""Transformer substrate.
+
+A from-scratch NumPy decoder-only transformer (RMSNorm, RoPE, grouped-query
+attention, SwiGLU) with pluggable attention backends, plus generators for
+synthetic Q/K/V tensors whose channel-outlier statistics mimic the models
+the paper profiles (Figure 4 / Figures 8-9): LLaMA3-like, Qwen2-like, and
+Phi3-like (the latter with pronounced value-channel outliers).
+
+The weights are seeded-random but *structured*: selected K/V projection
+channels are scaled up to create the per-channel outliers that drive the
+accuracy differences between channel-wise and token-wise quantization.
+"""
+
+from repro.models.config import ModelConfig, MODEL_PRESETS
+from repro.models.outliers import OutlierProfile, channel_scales
+from repro.models.rope import rope_frequencies, apply_rope
+from repro.models.layers import RMSNorm, SwiGLU, softmax_logits
+from repro.models.transformer import TransformerLM
+from repro.models.generation import generate, token_agreement
+from repro.models.synthetic_stats import synthetic_qkv, SyntheticQKV
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_PRESETS",
+    "OutlierProfile",
+    "channel_scales",
+    "rope_frequencies",
+    "apply_rope",
+    "RMSNorm",
+    "SwiGLU",
+    "softmax_logits",
+    "TransformerLM",
+    "generate",
+    "token_agreement",
+    "synthetic_qkv",
+    "SyntheticQKV",
+]

@@ -1,0 +1,136 @@
+"""Model configurations.
+
+Presets are *scaled-down analogues* of the models the paper evaluates — the
+layer counts and widths are shrunk so the NumPy substrate runs in seconds,
+but the architectural features that matter to KV quantization are kept:
+
+* ``llama3ish`` — grouped-query attention (4 query heads per KV head, like
+  LLaMA3-8B's 32/8), moderate K-channel outliers.
+* ``qwen2ish`` — GQA with a different grouping, moderate outliers.
+* ``phi3ish`` — full multi-head attention and *strong value-channel
+  outliers*, reproducing the Phi-3 distribution of Figures 4/9 that breaks
+  token-wise value quantization.
+* ``phi3_medium_ish`` — perf-model stand-in for Phi3-medium; only its
+  geometry is used (by :mod:`repro.perf`), never its weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.models.outliers import OutlierProfile
+
+__all__ = ["ModelConfig", "MODEL_PRESETS"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer geometry + outlier shaping.
+
+    Attributes mirror the usual HF config fields; ``outliers`` controls the
+    synthetic channel-outlier structure injected into the K/V projections.
+    """
+
+    name: str
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    d_ff: int
+    vocab_size: int = 512
+    rope_theta: float = 10_000.0
+    outliers: OutlierProfile = field(default_factory=OutlierProfile)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError("n_heads must be a multiple of n_kv_heads")
+        if min(self.n_layers, self.n_heads, self.n_kv_heads, self.head_dim, self.d_ff) <= 0:
+            raise ValueError("all dimensions must be positive")
+
+    @property
+    def d_model(self) -> int:
+        return self.n_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        return self.n_kv_heads * self.head_dim
+
+    def param_count(self) -> int:
+        """Approximate parameter count (used by the memory model)."""
+        d = self.d_model
+        per_layer = (
+            d * d  # Wq
+            + 2 * d * self.kv_dim  # Wk, Wv
+            + d * d  # Wo
+            + 3 * d * self.d_ff  # SwiGLU gate/up/down
+            + 2 * d  # norms
+        )
+        return self.n_layers * per_layer + 2 * self.vocab_size * d + d
+
+
+MODEL_PRESETS = {
+    "llama3ish": ModelConfig(
+        name="llama3ish",
+        n_layers=4,
+        n_heads=8,
+        n_kv_heads=2,
+        head_dim=32,
+        d_ff=512,
+        outliers=OutlierProfile(
+            key_outlier_fraction=0.08,
+            key_outlier_gain=6.0,
+            value_outlier_fraction=0.05,
+            value_outlier_gain=3.0,
+            key_channel_bias=0.75,
+            value_channel_bias=1.0,
+        ),
+        seed=1,
+    ),
+    "qwen2ish": ModelConfig(
+        name="qwen2ish",
+        n_layers=4,
+        n_heads=8,
+        n_kv_heads=4,
+        head_dim=32,
+        d_ff=512,
+        outliers=OutlierProfile(
+            key_outlier_fraction=0.10,
+            key_outlier_gain=5.0,
+            value_outlier_fraction=0.06,
+            value_outlier_gain=3.5,
+            key_channel_bias=0.75,
+            value_channel_bias=1.2,
+        ),
+        seed=2,
+    ),
+    "phi3ish": ModelConfig(
+        name="phi3ish",
+        n_layers=4,
+        n_heads=8,
+        n_kv_heads=8,
+        head_dim=32,
+        d_ff=512,
+        outliers=OutlierProfile(
+            key_outlier_fraction=0.08,
+            key_outlier_gain=6.0,
+            value_outlier_fraction=0.10,
+            value_outlier_gain=8.0,
+            key_channel_bias=0.75,
+            value_channel_bias=2.0,
+        ),
+        seed=3,
+    ),
+    # Geometry-only stand-in for Phi3-medium (perf model; 40 heads of 128,
+    # 10 KV heads, 40 layers — matching the real model's attention shape).
+    "phi3_medium_ish": ModelConfig(
+        name="phi3_medium_ish",
+        n_layers=40,
+        n_heads=40,
+        n_kv_heads=10,
+        head_dim=128,
+        d_ff=17_920,
+        vocab_size=32_064,
+        seed=4,
+    ),
+}

@@ -1,0 +1,62 @@
+"""Transformer building blocks: RMSNorm, SwiGLU, logit softmax.
+
+Matrix multiplications go through the pluggable linear layers of
+:mod:`repro.quant.weights`, so the Table 5 composition experiment can swap
+FP16 / LLM.int8 / QServe-W4A8 projections without touching the model code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["RMSNorm", "SwiGLU", "softmax_logits", "silu"]
+
+
+class RMSNorm:
+    """Root-mean-square layer norm with a learned gain."""
+
+    def __init__(self, weight: np.ndarray, eps: float = 1e-6):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.eps = eps
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + self.eps)
+        return x / rms * self.weight
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation, numerically stable for large |x|."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * (0.5 * (1.0 + np.tanh(0.5 * x)))  # sigmoid via tanh, overflow-free
+
+
+class SwiGLU:
+    """Gated MLP: ``down(silu(gate(x)) * up(x))``.
+
+    ``gate``/``up``/``down`` are linear-layer callables (see
+    :func:`repro.quant.weights.make_linear`).
+    """
+
+    def __init__(
+        self,
+        gate: Callable[[np.ndarray], np.ndarray],
+        up: Callable[[np.ndarray], np.ndarray],
+        down: Callable[[np.ndarray], np.ndarray],
+    ):
+        self.gate = gate
+        self.up = up
+        self.down = down
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.down(silu(self.gate(x)) * self.up(x))
+
+
+def softmax_logits(logits: np.ndarray) -> np.ndarray:
+    """Stable softmax over the vocabulary axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    m = logits.max(axis=-1, keepdims=True)
+    e = np.exp(logits - m)
+    return e / e.sum(axis=-1, keepdims=True)

@@ -1,0 +1,40 @@
+"""Rotary positional embeddings (RoPE).
+
+Standard half-dimension pairing: channel pairs ``(2i, 2i+1)`` rotate with
+angular frequency ``theta^{-2i/d}``.  Applied to Q and K before attention,
+as in LLaMA/Qwen/Phi.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rope_frequencies", "apply_rope"]
+
+
+def rope_frequencies(head_dim: int, theta: float = 10_000.0) -> np.ndarray:
+    """Inverse frequencies for each channel pair; shape ``(head_dim // 2,)``."""
+    if head_dim % 2 != 0:
+        raise ValueError("RoPE requires an even head dimension")
+    exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return theta**-exponents
+
+
+def apply_rope(
+    x: np.ndarray, positions: np.ndarray, freqs: np.ndarray
+) -> np.ndarray:
+    """Rotate ``x`` of shape ``(..., n, head_dim)`` by position-dependent angles.
+
+    ``positions`` has shape ``(n,)`` (absolute token positions — decode
+    passes the running offset so cached keys stay consistent).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    positions = np.asarray(positions, dtype=np.float64)
+    angles = positions[:, None] * freqs[None, :]  # (n, d/2)
+    cos, sin = np.cos(angles), np.sin(angles)
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out

@@ -1,0 +1,177 @@
+"""Decoder-only transformer with pluggable attention backends.
+
+The model is forward-only (inference reproduction) and deliberately small;
+its role is to exercise the attention backends end-to-end — prefill, cache
+construction, buffered decode — inside a realistic residual-stream
+computation (RMSNorm -> QKV -> RoPE -> attention -> output projection ->
+SwiGLU), with K/V projections shaped to produce the channel-outlier
+statistics of Figure 4.
+
+Weights are seeded-random, so the model is not a trained language model;
+accuracy experiments use either logit/token *agreement* against the FP16
+backend (:mod:`repro.models.generation`) or the constructed retrieval tasks
+(:mod:`repro.tasks`), both of which measure exactly what KV-cache
+quantization perturbs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.baselines.fp16_cache import FP16Attention
+from repro.models.config import ModelConfig
+from repro.models.layers import RMSNorm, SwiGLU
+from repro.models.outliers import channel_scales
+from repro.models.rope import apply_rope, rope_frequencies
+from repro.quant.weights import make_linear
+
+__all__ = ["TransformerLM"]
+
+
+class _Layer:
+    """One transformer block's weights and callables."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator, linear_scheme: str):
+        d = config.d_model
+        kv = config.kv_dim
+        ff = config.d_ff
+        scale = 1.0 / np.sqrt(d)
+
+        def w(shape):
+            return rng.standard_normal(shape) * scale
+
+        wk = w((d, kv))
+        wv = w((d, kv))
+        # Inject per-channel outliers head-wise (Figure 4 structure).
+        prof = config.outliers
+        for h in range(config.n_kv_heads):
+            sl = slice(h * config.head_dim, (h + 1) * config.head_dim)
+            wk[:, sl] *= channel_scales(
+                config.head_dim, prof.key_outlier_fraction, prof.key_outlier_gain,
+                prof.jitter, rng,
+            )
+            wv[:, sl] *= channel_scales(
+                config.head_dim, prof.value_outlier_fraction, prof.value_outlier_gain,
+                prof.jitter, rng,
+            )
+
+        self.wq = make_linear(w((d, d)), linear_scheme)
+        self.wk = make_linear(wk, linear_scheme)
+        self.wv = make_linear(wv, linear_scheme)
+        self.wo = make_linear(w((d, d)), linear_scheme)
+        self.mlp = SwiGLU(
+            make_linear(w((d, ff)), linear_scheme),
+            make_linear(w((d, ff)), linear_scheme),
+            make_linear(w((ff, d)), linear_scheme),
+        )
+        self.attn_norm = RMSNorm(np.ones(d))
+        self.mlp_norm = RMSNorm(np.ones(d))
+
+
+class TransformerLM:
+    """Inference-only transformer language model.
+
+    Parameters
+    ----------
+    config:
+        Geometry and outlier profile.
+    attention_factory:
+        Zero-argument callable producing one attention backend per layer
+        (:class:`repro.core.TurboAttention` or any
+        :class:`repro.baselines.base.AttentionBackend`).  Defaults to the
+        exact FP16 backend.
+    linear_scheme:
+        Projection/FFN weight quantization: ``"fp16"`` (default),
+        ``"llm_int8"``, or ``"qserve_w4a8"`` (Table 5).
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        attention_factory: Optional[Callable[[], object]] = None,
+        linear_scheme: str = "fp16",
+    ):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        d = config.d_model
+        self.embedding = rng.standard_normal((config.vocab_size, d)) / np.sqrt(d)
+        self.layers: List[_Layer] = [
+            _Layer(config, rng, linear_scheme) for _ in range(config.n_layers)
+        ]
+        self.final_norm = RMSNorm(np.ones(d))
+        self.w_out = make_linear(
+            rng.standard_normal((d, config.vocab_size)) / np.sqrt(d), linear_scheme
+        )
+        factory = attention_factory if attention_factory is not None else FP16Attention
+        self.backends = [factory() for _ in range(config.n_layers)]
+        self.freqs = rope_frequencies(config.head_dim, config.rope_theta)
+        self.reset()
+
+    # -- state --------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all KV state and the position counter."""
+        self.kv_states: List[Optional[object]] = [None] * self.config.n_layers
+        self._pos = 0
+
+    @property
+    def kv_storage_bits(self) -> int:
+        """Total KV bits across layers (0 before prefill)."""
+        return sum(
+            int(s.storage_bits) for s in self.kv_states if s is not None
+        )
+
+    # -- shape helpers --------------------------------------------------------
+    def _split_heads(self, x: np.ndarray, n_heads: int) -> np.ndarray:
+        """``(n, heads*dim) -> (heads, n, dim)``."""
+        n = x.shape[0]
+        return x.reshape(n, n_heads, self.config.head_dim).transpose(1, 0, 2)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(heads, n, dim) -> (n, heads*dim)``."""
+        h, n, dh = x.shape
+        return x.transpose(1, 0, 2).reshape(n, h * dh)
+
+    # -- forward --------------------------------------------------------------
+    def prefill(self, token_ids: np.ndarray) -> np.ndarray:
+        """Process a prompt; returns logits of shape ``(n, vocab)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if self._pos != 0:
+            raise RuntimeError("prefill on a non-fresh model; call reset() first")
+        x = self.embedding[token_ids]
+        positions = np.arange(token_ids.shape[0])
+        for i, layer in enumerate(self.layers):
+            h = layer.attn_norm(x)
+            q = self._split_heads(layer.wq(h), self.config.n_heads)
+            k = self._split_heads(layer.wk(h), self.config.n_kv_heads)
+            v = self._split_heads(layer.wv(h), self.config.n_kv_heads)
+            q = apply_rope(q, positions, self.freqs)
+            k = apply_rope(k, positions, self.freqs)
+            out, state = self.backends[i].prefill(q, k, v, causal=True)
+            self.kv_states[i] = state
+            x = x + layer.wo(self._merge_heads(out))
+            x = x + layer.mlp(layer.mlp_norm(x))
+        self._pos = token_ids.shape[0]
+        return self.w_out(self.final_norm(x))
+
+    def decode_step(self, token_id: int) -> np.ndarray:
+        """Process one generated token; returns logits of shape ``(vocab,)``."""
+        if self._pos == 0:
+            raise RuntimeError("decode before prefill")
+        x = self.embedding[int(token_id)][None, :]
+        position = np.array([self._pos])
+        for i, layer in enumerate(self.layers):
+            h = layer.attn_norm(x)
+            q = self._split_heads(layer.wq(h), self.config.n_heads)
+            k = self._split_heads(layer.wk(h), self.config.n_kv_heads)
+            v = self._split_heads(layer.wv(h), self.config.n_kv_heads)
+            q = apply_rope(q, position, self.freqs)
+            k = apply_rope(k, position, self.freqs)
+            out = self.backends[i].decode_step(
+                q[:, 0, :], k[:, 0, :], v[:, 0, :], self.kv_states[i]
+            )
+            x = x + layer.wo(out.reshape(1, -1))
+            x = x + layer.mlp(layer.mlp_norm(x))
+        self._pos += 1
+        return self.w_out(self.final_norm(x))[0]

@@ -1,0 +1,58 @@
+"""Operation/byte counting primitives for the cost model.
+
+:class:`OpCounts` is a small algebra: kernels produce counts, counts add
+and scale, and a :class:`repro.perf.gpu.GPUSpec` converts them to seconds.
+Keeping the counts explicit (instead of returning opaque latencies) makes
+the model auditable — every figure harness can print where the time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounts"]
+
+
+@dataclass
+class OpCounts:
+    """Work performed by one (or several) kernels.
+
+    All ``*_tc``/``*_cuda``/``int_alu`` fields are operation counts (FLOPs
+    or integer ops; a fused multiply-add counts as 2).  ``bytes_*`` are HBM
+    traffic.  ``kernel_launches`` carries fixed per-kernel overhead.
+    """
+
+    fp16_tc: float = 0.0
+    int8_tc: float = 0.0
+    fp32_cuda: float = 0.0
+    fp16_cuda: float = 0.0
+    int_alu: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    kernel_launches: float = 0.0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(OpCounts)
+            }
+        )
+
+    def __mul__(self, factor: float) -> "OpCounts":
+        return OpCounts(
+            **{f.name: getattr(self, f.name) * factor for f in fields(OpCounts)}
+        )
+
+    __rmul__ = __mul__
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def total_ops(self) -> float:
+        return self.fp16_tc + self.int8_tc + self.fp32_cuda + self.fp16_cuda + self.int_alu
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(OpCounts)}

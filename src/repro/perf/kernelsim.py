@@ -1,0 +1,185 @@
+"""Tile-level attention kernel simulator (Figure 1b phase breakdown).
+
+Walks the actual flash-attention tiling loop — query tiles outer, key/value
+tiles inner — and charges every phase of every tile to a per-phase timer:
+
+    load_kv -> (dequant) -> qk_matmul -> softmax -> (quantize) -> pv_matmul
+
+using the same per-element constants and device rates as the roofline
+model in :mod:`repro.perf.attention_costs`.  Unlike the roofline (which
+takes ``max(memory, compute)`` over a whole kernel), the simulator models a
+*non-overlapped* pipeline, which is the right lens for answering "what
+fraction of kernel time does each phase consume" — the question Figure 1b
+asks.  Totals therefore sit slightly above the roofline latency; the
+harness only uses the *shares*.
+
+The simulator is also where the method differences are most visible:
+
+* ``fp16``: softmax (FP32 CUDA exponentiation) dominates compute;
+* ``kivi``/``gear``: a dequantization phase appears and grows with context
+  because every decode step re-expands the whole cache to FP16;
+* ``turbo``: matmuls halve (INT8), softmax shrinks to the SAS polynomial,
+  dequantization is integer and tiny.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.perf.attention_costs import (
+    FP16_DEQUANT_OPS,
+    PQ_DEQUANT_INT_OPS,
+    QUANT_FP32_OPS,
+    SAS_FP16_TC_OPS,
+    SAS_FP32_OPS,
+    SOFTMAX_FP32_OPS,
+    AttentionGeometry,
+    MethodSpec,
+)
+from repro.perf.counts import OpCounts
+from repro.perf.gpu import GPUSpec, A100_80GB
+
+__all__ = ["simulate_attention_kernel"]
+
+PHASES = (
+    "load_q",
+    "load_kv",
+    "dequant",
+    "qk_matmul",
+    "softmax",
+    "quantize",
+    "pv_matmul",
+    "store",
+    "overhead",
+)
+
+
+def _phase_time(gpu: GPUSpec, counts: OpCounts) -> float:
+    """Non-overlapped time of one phase: memory plus compute."""
+    return gpu.memory_time(counts) + gpu.tensor_time(counts) + gpu.cuda_time(counts)
+
+
+def simulate_attention_kernel(
+    method: MethodSpec,
+    geom: AttentionGeometry,
+    prefill: bool,
+    gpu: Optional[GPUSpec] = None,
+    block_q: int = 64,
+    block_k: int = 64,
+) -> Dict[str, float]:
+    """Per-phase seconds for one attention call.
+
+    Returns a dict over :data:`PHASES` plus ``"total"``.
+    """
+    gpu = gpu if gpu is not None else A100_80GB
+    per_head = geom.batch * geom.n_heads
+    per_kv_head = geom.batch * geom.n_kv_heads
+    d = geom.head_dim
+    times = {p: 0.0 for p in PHASES}
+
+    is_turbo = method.kind == "turbo"
+    is_dequant = method.kind == "dequant"
+    kv_elem_bytes = method.kv_bits / 8.0 if is_turbo else 2.0
+
+    n_q_tiles = max(1, -(-geom.q_len // block_q))
+    q_tile = min(block_q, geom.q_len)
+    n_k_tiles = max(1, -(-geom.kv_len // block_k))
+    k_tile = min(block_k, geom.kv_len)
+
+    # Separate decompression kernel for the KIVI/GEAR pipeline (reads the
+    # packed cache, writes FP16 KV that the flash kernel below re-reads).
+    if is_dequant and not prefill:
+        packed = geom.kv_elements * method.kv_bits / 8.0
+        c = OpCounts(
+            bytes_read=packed,
+            bytes_written=2.0 * geom.kv_elements,
+            fp16_cuda=FP16_DEQUANT_OPS * geom.kv_elements,
+        )
+        if method.lowrank_rank > 0:
+            c.fp16_tc = 2.0 * method.lowrank_rank * geom.kv_elements
+            c.bytes_read += 2.0 * method.lowrank_rank * (
+                geom.kv_elements / d + geom.kv_elements / geom.kv_len
+            )
+        times["dequant"] += _phase_time(gpu, c)
+        times["overhead"] += gpu.kernel_overhead_us * 1e-6
+
+    causal_fraction = (
+        (geom.kv_len + 1) / (2.0 * geom.kv_len) if geom.causal and geom.q_len > 1 else 1.0
+    )
+
+    for _qi in range(n_q_tiles):
+        # Q tile load (+ quantization for turbo).
+        q_elems = per_head * q_tile * d
+        times["load_q"] += _phase_time(gpu, OpCounts(bytes_read=2.0 * q_elems))
+        if is_turbo:
+            times["quantize"] += _phase_time(gpu, OpCounts(fp32_cuda=QUANT_FP32_OPS * q_elems))
+        inner = max(1, int(round(n_k_tiles * causal_fraction)))
+        for _ki in range(inner):
+            kv_elems = 2.0 * per_kv_head * k_tile * d
+            times["load_kv"] += _phase_time(
+                gpu, OpCounts(bytes_read=kv_elems * kv_elem_bytes)
+            )
+            if is_turbo and not prefill:
+                times["dequant"] += _phase_time(
+                    gpu, OpCounts(int_alu=PQ_DEQUANT_INT_OPS * kv_elems)
+                )
+            if is_turbo and prefill:
+                times["quantize"] += _phase_time(
+                    gpu, OpCounts(fp32_cuda=QUANT_FP32_OPS * kv_elems)
+                )
+            score_elems = per_head * q_tile * k_tile
+            mm = OpCounts()
+            if is_turbo:
+                mm.int8_tc = 2.0 * score_elems * d
+            else:
+                mm.fp16_tc = 2.0 * score_elems * d
+            times["qk_matmul"] += _phase_time(gpu, mm)
+            sm = OpCounts()
+            if is_turbo:
+                sm.fp16_tc = SAS_FP16_TC_OPS * score_elems
+                sm.fp32_cuda = SAS_FP32_OPS * score_elems
+            else:
+                sm.fp32_cuda = SOFTMAX_FP32_OPS * score_elems
+            times["softmax"] += _phase_time(gpu, sm)
+            if is_turbo:
+                times["quantize"] += _phase_time(
+                    gpu, OpCounts(fp32_cuda=QUANT_FP32_OPS * score_elems)
+                )
+            pv = OpCounts()
+            if is_turbo:
+                pv.int8_tc = 2.0 * score_elems * d
+            else:
+                pv.fp16_tc = 2.0 * score_elems * d
+            times["pv_matmul"] += _phase_time(gpu, pv)
+        # Output tile store.
+        times["store"] += _phase_time(gpu, OpCounts(bytes_written=2.0 * q_elems))
+
+    # Cache write during prefill (progressive for turbo, packing kernel for
+    # KIVI/GEAR, plain FP16 append otherwise).
+    if prefill:
+        if is_turbo:
+            times["quantize"] += _phase_time(
+                gpu,
+                OpCounts(
+                    int_alu=PQ_DEQUANT_INT_OPS * geom.kv_elements,
+                    bytes_written=geom.kv_elements * method.kv_bits / 8.0,
+                ),
+            )
+        elif is_dequant:
+            times["quantize"] += _phase_time(
+                gpu,
+                OpCounts(
+                    bytes_read=2.0 * geom.kv_elements,
+                    bytes_written=geom.kv_elements * method.kv_bits / 8.0,
+                    fp16_cuda=FP16_DEQUANT_OPS * geom.kv_elements,
+                ),
+            )
+            times["overhead"] += gpu.kernel_overhead_us * 1e-6
+        else:
+            times["store"] += _phase_time(
+                gpu, OpCounts(bytes_written=2.0 * geom.kv_elements)
+            )
+
+    times["overhead"] += gpu.kernel_overhead_us * 1e-6
+    times["total"] = sum(times[p] for p in PHASES)
+    return times

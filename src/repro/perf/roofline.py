@@ -1,0 +1,82 @@
+"""Roofline classification of attention kernels.
+
+Given a method and geometry, report the quantities a performance engineer
+reads off a roofline plot: arithmetic intensity (ops per HBM byte), the
+device's balance point, which resource binds, and the headroom to the
+next bottleneck.  Used by the docs/examples and tested for consistency
+with the latency model (the binding resource must be the one whose time
+the roofline `max` selects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perf.attention_costs import AttentionGeometry, MethodSpec, attention_counts
+from repro.perf.counts import OpCounts
+from repro.perf.gpu import A100_80GB, GPUSpec
+
+__all__ = ["RooflinePoint", "roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Where one kernel sits on the device's roofline."""
+
+    method: str
+    phase: str
+    arithmetic_intensity: float  # total ops / total bytes
+    bound: str  # "memory" | "tensor" | "cuda"
+    memory_time: float
+    tensor_time: float
+    cuda_time: float
+    utilization: float  # time of binding resource / total latency proxy
+
+    @property
+    def compute_time(self) -> float:
+        return self.tensor_time + self.cuda_time
+
+    @property
+    def latency(self) -> float:
+        return max(self.memory_time, self.compute_time)
+
+    def headroom(self) -> float:
+        """How much the non-binding side could grow before it binds (x)."""
+        if self.bound == "memory":
+            return self.memory_time / max(self.compute_time, 1e-30)
+        return self.compute_time / max(self.memory_time, 1e-30)
+
+
+def roofline(
+    method: MethodSpec,
+    geom: AttentionGeometry,
+    prefill: bool,
+    gpu: Optional[GPUSpec] = None,
+) -> RooflinePoint:
+    """Classify one attention call on the device roofline."""
+    gpu = gpu if gpu is not None else A100_80GB
+    counts: OpCounts = attention_counts(method, geom, prefill)
+    mem = gpu.memory_time(counts)
+    tc = gpu.tensor_time(counts)
+    cuda = gpu.cuda_time(counts)
+    if mem >= tc + cuda:
+        bound = "memory"
+        binding = mem
+    elif tc >= cuda:
+        bound = "tensor"
+        binding = tc + cuda
+    else:
+        bound = "cuda"
+        binding = tc + cuda
+    total = max(mem, tc + cuda)
+    return RooflinePoint(
+        method=method.name,
+        phase="prefill" if prefill else "decode",
+        arithmetic_intensity=counts.total_ops / max(counts.total_bytes, 1e-30),
+        bound=bound,
+        memory_time=mem,
+        tensor_time=tc,
+        cuda_time=cuda,
+        utilization=binding / max(total, 1e-30),
+    )

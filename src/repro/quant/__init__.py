@@ -1,0 +1,72 @@
+"""Quantization primitives used throughout the TurboAttention reproduction.
+
+The subpackage provides:
+
+* :mod:`repro.quant.schemes` — symmetric / asymmetric uniform quantizers with
+  per-tensor, per-axis, and grouped granularity (Eq. 3/4 of the paper).
+* :mod:`repro.quant.qtensor` — a container bundling integer codes with their
+  scales/zero-points, able to report true storage cost and dequantize.
+* :mod:`repro.quant.progressive` — two-stage progressive quantization
+  (INT8 symmetric -> INT4/INT2 asymmetric with *integer* scales and
+  zero-points), the storage format of FlashQ (paper §2.3, §3.1).
+* :mod:`repro.quant.integer_gemm` — exact integer matrix multiplication with
+  the scale algebra of Eq. 5/6.
+* :mod:`repro.quant.error` — error metrics used by the ablations
+  (Fig. 7b, Fig. 10).
+* :mod:`repro.quant.weights` — weight-only quantizers (LLM.int8-like and
+  QServe-like W4A8) used by the Table 5 composition experiment.
+"""
+
+from repro.quant.schemes import (
+    int_range,
+    symmetric_scale,
+    quantize_symmetric,
+    dequantize_symmetric,
+    quantize_asymmetric,
+    dequantize_asymmetric,
+    grouped_reshape,
+    grouped_unreshape,
+)
+from repro.quant.qtensor import QuantizedTensor, Granularity
+from repro.quant.progressive import (
+    ProgressiveConfig,
+    ProgressiveBlock,
+    pq_compress,
+    pq_decompress_to_int8,
+    pq_dequantize,
+)
+from repro.quant.integer_gemm import int_matmul, scaled_int_matmul
+from repro.quant.packing import pack_codes, unpack_codes, packed_nbytes
+from repro.quant.error import (
+    mse,
+    max_abs_error,
+    relative_frobenius_error,
+    quantization_error_report,
+)
+
+__all__ = [
+    "int_range",
+    "symmetric_scale",
+    "quantize_symmetric",
+    "dequantize_symmetric",
+    "quantize_asymmetric",
+    "dequantize_asymmetric",
+    "grouped_reshape",
+    "grouped_unreshape",
+    "QuantizedTensor",
+    "Granularity",
+    "ProgressiveConfig",
+    "ProgressiveBlock",
+    "pq_compress",
+    "pq_decompress_to_int8",
+    "pq_dequantize",
+    "int_matmul",
+    "scaled_int_matmul",
+    "pack_codes",
+    "unpack_codes",
+    "packed_nbytes",
+    "mse",
+    "max_abs_error",
+    "relative_frobenius_error",
+    "quantization_error_report",
+]

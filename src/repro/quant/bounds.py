@@ -1,0 +1,91 @@
+"""Analytical worst-case error bounds for the quantized attention pipeline.
+
+The paper argues near-losslessness empirically; this module derives the
+deterministic bounds behind that robustness, each verified against
+measurements by property tests:
+
+* **Symmetric quantization** (no clamping): ``|x - x_hat| <= s / 2``.
+* **Progressive INT8 -> INT4/2**: the stage-2 reconstruction of an INT8
+  code is off by at most ``s_int/2 + 1`` integer steps (rounding of the
+  code plus rounding of the zero-point), so in real units
+  ``|x - x_hat| <= s * (1/2 + s_int/2 + 1)`` with ``s_int <=
+  ceil(range_int8 / (2^b - 1))``.
+* **SAS**: ``|SAS(x) - e^x| <= poly_max_error + [x < n_r] * e^{n_r}`` —
+  the polynomial fit error plus, below the threshold, the truncated tail.
+* **Softmax sensitivity**: if every score moves by at most ``delta``, the
+  probability vector moves by at most ``e^{2 delta} - 1`` in L1
+  (a standard Gibbs-measure perturbation bound), so the attention output
+  moves by at most ``(e^{2 delta} - 1) * max_t ||v_t||_inf`` plus the
+  value-side reconstruction error.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.sas.poly import PAPER_POLY_COEFFS, poly_max_error
+
+__all__ = [
+    "symmetric_bound",
+    "progressive_bound",
+    "sas_bound",
+    "softmax_l1_bound",
+    "attention_output_bound",
+]
+
+
+def symmetric_bound(scale: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+    """Round-to-nearest bound for symmetric quantization: ``s / 2``."""
+    return np.asarray(scale) / 2.0
+
+
+def progressive_bound(
+    scale: Union[float, np.ndarray],
+    int8_range: Union[float, np.ndarray],
+    bits: int,
+) -> np.ndarray:
+    """Worst-case float error of the full INT8 -> INT``bits`` pipeline.
+
+    ``int8_range`` is the per-channel max-minus-min of the INT8 codes the
+    channel spans (<= 254); ``scale`` is the stage-1 symmetric scale.
+    """
+    hi = 2**bits - 1
+    s_int = np.ceil(np.asarray(int8_range, dtype=np.float64) / hi)
+    s_int = np.maximum(s_int, 1.0)
+    # Stage-1 rounding (1/2 step) + stage-2 code rounding (s_int/2) +
+    # zero-point rounding (<= s_int/2 more) in INT8 steps.
+    return np.asarray(scale) * (0.5 + s_int)
+
+
+def sas_bound(threshold: int = -6, coeffs=PAPER_POLY_COEFFS) -> float:
+    """Uniform bound on ``|SAS(x) - e^x|`` over ``x <= 0``."""
+    return float(poly_max_error(coeffs) + np.exp(threshold))
+
+
+def softmax_l1_bound(delta: float) -> float:
+    """L1 perturbation of a softmax whose logits each move <= ``delta``.
+
+    If ``|s'_i - s_i| <= delta`` for all i then
+    ``||softmax(s') - softmax(s)||_1 <= e^{2 delta} - 1``.
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    return float(np.exp(2.0 * delta) - 1.0)
+
+
+def attention_output_bound(
+    score_delta: float,
+    value_error: float,
+    value_max: float,
+) -> float:
+    """Element-wise bound on the attention output perturbation.
+
+    ``out' - out = (p' - p) V' + p (V' - V)``; with ``||p'-p||_1`` bounded
+    by :func:`softmax_l1_bound` and ``||p||_1 = 1``:
+
+        |Δout| <= (e^{2 δ} - 1) * (value_max + value_error) + value_error
+    """
+    p_l1 = softmax_l1_bound(score_delta)
+    return p_l1 * (value_max + value_error) + value_error

@@ -1,0 +1,66 @@
+"""Quantization-error metrics.
+
+Used by the head-selection ablation (Fig. 7b), the channel-vs-token
+comparison (Fig. 10), and throughout the test suite to assert error bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "mse",
+    "max_abs_error",
+    "relative_frobenius_error",
+    "ErrorReport",
+    "quantization_error_report",
+]
+
+
+def mse(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """Mean squared error."""
+    x = np.asarray(x, dtype=np.float64)
+    x_hat = np.asarray(x_hat, dtype=np.float64)
+    return float(np.mean((x - x_hat) ** 2))
+
+
+def max_abs_error(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """Element-wise worst-case absolute error."""
+    return float(np.max(np.abs(np.asarray(x, dtype=np.float64) - np.asarray(x_hat, dtype=np.float64))))
+
+
+def relative_frobenius_error(x: np.ndarray, x_hat: np.ndarray) -> float:
+    """``||x - x_hat||_F / ||x||_F`` (0 for a perfect reconstruction)."""
+    x = np.asarray(x, dtype=np.float64)
+    denom = np.linalg.norm(x)
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(x - np.asarray(x_hat, dtype=np.float64)) / denom)
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Bundle of the three standard metrics."""
+
+    mse: float
+    max_abs: float
+    rel_frobenius: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mse": self.mse,
+            "max_abs": self.max_abs,
+            "rel_frobenius": self.rel_frobenius,
+        }
+
+
+def quantization_error_report(x: np.ndarray, x_hat: np.ndarray) -> ErrorReport:
+    """Compute all three metrics at once."""
+    return ErrorReport(
+        mse=mse(x, x_hat),
+        max_abs=max_abs_error(x, x_hat),
+        rel_frobenius=relative_frobenius_error(x, x_hat),
+    )

@@ -1,0 +1,89 @@
+"""Integer matrix multiplication with scale algebra (paper Eq. 5/6).
+
+GPU INT8 tensor cores multiply int8 operands into int32 accumulators; the
+float result is recovered by multiplying with the operand scales.  For two
+*symmetric* operands the algebra is just ``s_a * s_b * (A_q @ B_q)`` — the
+three zero-point correction terms of Eq. 5 vanish, which is why
+TurboAttention quantizes the compute stage symmetrically and reserves
+asymmetric quantization for storage only.
+
+:func:`int_matmul` guards against accumulator overflow: with int8 operands
+bounded by 127 the worst-case accumulator magnitude is ``K * 127^2``, which
+stays inside int32 for any inner dimension up to ~133k — far beyond
+attention head dimensions — but the check is kept for safety because the
+decode path multiplies decompressed (possibly clamp-extended) codes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["int_matmul", "scaled_int_matmul"]
+
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+def int_matmul(a_codes: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+    """Exact integer MatMul with int32 accumulation.
+
+    Both operands must be integer arrays; they are widened to int32 before
+    the product, mirroring tensor-core IMMA semantics.  Raises
+    ``OverflowError`` if the worst-case accumulator could exceed int32.
+    """
+    a = np.asarray(a_codes)
+    b = np.asarray(b_codes)
+    if not np.issubdtype(a.dtype, np.integer) or not np.issubdtype(b.dtype, np.integer):
+        raise TypeError("int_matmul requires integer operands")
+    k = a.shape[-1]
+    worst = (
+        int(np.max(np.abs(a), initial=0)) * int(np.max(np.abs(b), initial=0)) * int(k)
+    )
+    if worst > _INT32_MAX:
+        raise OverflowError(
+            f"int32 accumulator could overflow: worst case {worst} for K={k}"
+        )
+    return a.astype(np.int32) @ b.astype(np.int32)
+
+
+def scaled_int_matmul(
+    a_codes: np.ndarray,
+    a_scale: np.ndarray,
+    b_codes: np.ndarray,
+    b_scale: np.ndarray,
+    a_zero: Optional[np.ndarray] = None,
+    b_zero: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Float MatMul of quantized operands via integer arithmetic.
+
+    Implements Eq. 5 in full generality.  For symmetric operands
+    (``a_zero is b_zero is None``) this reduces to Eq. 6:
+    ``O = s_a * s_b * (A_q @ B_q)``.
+
+    Scales must broadcast against the *output*: for a ``(m, k) @ (k, n)``
+    product, a per-row ``a_scale`` has shape ``(m, 1)`` and a per-column
+    ``b_scale`` has shape ``(1, n)`` (per-tensor scalars always work).
+    Zero-points, when given, are real values (the quantizer's ``x_min``) and
+    must broadcast the same way.
+    """
+    acc = int_matmul(a_codes, b_codes).astype(np.float64)
+    a_scale = np.asarray(a_scale, dtype=np.float64)
+    b_scale = np.asarray(b_scale, dtype=np.float64)
+    out = a_scale * b_scale * acc
+    k = a_codes.shape[-1]
+    if b_zero is not None:
+        # s_a * z_b * sum_k Q(A)
+        row_sum = np.asarray(a_codes, dtype=np.int64).sum(axis=-1, keepdims=True)
+        out = out + a_scale * np.asarray(b_zero, dtype=np.float64) * row_sum
+    if a_zero is not None:
+        # s_b * z_a * sum_k Q(B)
+        col_sum = np.asarray(b_codes, dtype=np.int64).sum(axis=-2, keepdims=True)
+        out = out + b_scale * np.asarray(a_zero, dtype=np.float64) * col_sum
+    if a_zero is not None and b_zero is not None:
+        out = out + (
+            np.asarray(a_zero, dtype=np.float64)
+            * np.asarray(b_zero, dtype=np.float64)
+            * float(k)
+        )
+    return out

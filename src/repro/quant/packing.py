@@ -1,0 +1,102 @@
+"""Sub-byte code packing.
+
+The storage accounting elsewhere in the library charges INT4/INT2 codes at
+their logical width; this module provides the *actual* bit-packing a
+deployment would use, so the claimed footprints are realizable:
+
+* INT4: two codes per byte (low nibble first).
+* INT2: four codes per byte (lowest pair first).
+* INT3: packed 8-codes-per-3-bytes via a 24-bit little-endian group.
+
+Pack/unpack are exact inverses for codes within range; both operate on the
+last axis and require (pad to) a multiple of the packing group.  The KV
+cache can round-trip its blocks through these to validate that metadata +
+packed payload equals the reported ``storage_bits``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["pack_codes", "unpack_codes", "packed_nbytes"]
+
+_GROUP = {2: 4, 3: 8, 4: 2, 8: 1}
+
+
+def packed_nbytes(n_codes: int, bits: int) -> int:
+    """Bytes needed to pack ``n_codes`` values of width ``bits``."""
+    if bits not in _GROUP:
+        raise ValueError(f"unsupported pack width: {bits}")
+    group = _GROUP[bits]
+    n_groups = -(-n_codes // group)
+    return n_groups * (group * bits // 8)
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> Tuple[np.ndarray, int]:
+    """Pack unsigned codes along the last axis.
+
+    Returns ``(packed, original_length)`` where ``packed`` is a uint8 array
+    whose last axis holds the packed payload.  Codes must lie in
+    ``[0, 2^bits - 1]``.
+    """
+    if bits not in _GROUP:
+        raise ValueError(f"unsupported pack width: {bits}")
+    codes = np.asarray(codes)
+    if not np.issubdtype(codes.dtype, np.integer):
+        raise TypeError("codes must be integers")
+    hi = 2**bits - 1
+    if codes.size and (codes.min() < 0 or codes.max() > hi):
+        raise ValueError(f"codes out of range for {bits}-bit packing")
+    n = codes.shape[-1]
+    if bits == 8:
+        return codes.astype(np.uint8), n
+
+    group = _GROUP[bits]
+    pad = (-n) % group
+    if pad:
+        codes = np.concatenate(
+            [codes, np.zeros(codes.shape[:-1] + (pad,), dtype=codes.dtype)], axis=-1
+        )
+    c = codes.astype(np.uint32).reshape(codes.shape[:-1] + (-1, group))
+    if bits == 4:
+        packed = (c[..., 0] | (c[..., 1] << 4)).astype(np.uint8)
+        packed = packed.reshape(packed.shape[:-1] + (-1,))
+    elif bits == 2:
+        packed = (
+            c[..., 0] | (c[..., 1] << 2) | (c[..., 2] << 4) | (c[..., 3] << 6)
+        ).astype(np.uint8)
+        packed = packed.reshape(packed.shape[:-1] + (-1,))
+    else:  # bits == 3: 8 codes -> 24 bits -> 3 bytes
+        word = np.zeros(c.shape[:-1], dtype=np.uint32)
+        for i in range(8):
+            word |= c[..., i] << (3 * i)
+        b0 = (word & 0xFF).astype(np.uint8)
+        b1 = ((word >> 8) & 0xFF).astype(np.uint8)
+        b2 = ((word >> 16) & 0xFF).astype(np.uint8)
+        packed = np.stack([b0, b1, b2], axis=-1)
+        packed = packed.reshape(packed.shape[:-2] + (-1,))
+    return packed, n
+
+
+def unpack_codes(packed: np.ndarray, bits: int, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns uint8 codes of ``length``."""
+    if bits not in _GROUP:
+        raise ValueError(f"unsupported pack width: {bits}")
+    packed = np.asarray(packed, dtype=np.uint8)
+    if bits == 8:
+        return packed[..., :length]
+    if bits == 4:
+        lo = packed & 0x0F
+        hi = packed >> 4
+        codes = np.stack([lo, hi], axis=-1).reshape(packed.shape[:-1] + (-1,))
+    elif bits == 2:
+        parts = [(packed >> shift) & 0x3 for shift in (0, 2, 4, 6)]
+        codes = np.stack(parts, axis=-1).reshape(packed.shape[:-1] + (-1,))
+    else:  # bits == 3
+        triple = packed.reshape(packed.shape[:-1] + (-1, 3)).astype(np.uint32)
+        word = triple[..., 0] | (triple[..., 1] << 8) | (triple[..., 2] << 16)
+        parts = [((word >> (3 * i)) & 0x7).astype(np.uint8) for i in range(8)]
+        codes = np.stack(parts, axis=-1).reshape(packed.shape[:-1] + (-1,))
+    return codes[..., :length].astype(np.uint8)

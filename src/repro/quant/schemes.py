@@ -1,0 +1,185 @@
+"""Uniform quantization schemes (Eq. 3/4 of the paper).
+
+Two families are provided:
+
+* **Symmetric**: ``Q(x) = round(x / s)`` with ``s = max|x| / max_code`` and a
+  zero-point of 0.  TurboAttention uses ``max_code = 119`` for its INT8 stage
+  (Algorithm 1), leaving headroom below 127 so that decode-time outliers can
+  be clamped into the *frozen* prefill scale without overflow.
+* **Asymmetric**: ``Q(x) = round((x - min) / s)`` with
+  ``s = (max - min) / (2^bits - 1)``, producing unsigned codes in
+  ``[0, 2^bits - 1]``.  Used for the INT4/INT2 storage stage.
+
+All functions take an ``axis`` argument: ``None`` means per-tensor statistics,
+an integer (or tuple) means the reduction runs over that axis so each slice
+along the *remaining* axes receives its own scale (per-channel / per-token
+quantization).  Group quantization is built from these via
+:func:`grouped_reshape`.
+
+Note the paper's Eq. 4 swaps the "sym."/"asym." labels; we implement the
+standard definitions, which also match Algorithm 1's use of
+``s = max(abs(x)) / 119`` for the symmetric stage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "int_range",
+    "symmetric_scale",
+    "quantize_symmetric",
+    "dequantize_symmetric",
+    "quantize_asymmetric",
+    "dequantize_asymmetric",
+    "grouped_reshape",
+    "grouped_unreshape",
+]
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+# Scale denominators below this threshold are snapped to a small epsilon so a
+# constant-zero tensor quantizes to all-zero codes instead of dividing by 0.
+_EPS = 1e-12
+
+# Paper's symmetric INT8 code bound (Algorithm 1): max(abs(x)) / 119.
+TURBO_INT8_MAX_CODE = 119
+
+
+def int_range(bits: int, symmetric: bool) -> Tuple[int, int]:
+    """Return the inclusive ``(lo, hi)`` integer code range for a scheme.
+
+    Symmetric codes are signed and span ``[-(2^{b-1}-1), 2^{b-1}-1]`` (the
+    "restricted" range that keeps negation closed).  Asymmetric codes are
+    unsigned and span ``[0, 2^b - 1]``.
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError(f"unsupported bit-width: {bits}")
+    if symmetric:
+        hi = 2 ** (bits - 1) - 1
+        return -hi, hi
+    return 0, 2**bits - 1
+
+
+def _keepdims_stat(x: np.ndarray, axis: Axis, fn) -> np.ndarray:
+    """Reduce ``x`` over ``axis`` with keepdims so results broadcast back."""
+    if axis is None:
+        return fn(x)
+    return fn(x, axis=axis, keepdims=True)
+
+
+def symmetric_scale(
+    x: np.ndarray, bits: int = 8, axis: Axis = None, max_code: Optional[int] = None
+) -> np.ndarray:
+    """Compute the symmetric scale ``max|x| / max_code``.
+
+    ``max_code`` defaults to the restricted signed bound ``2^{b-1}-1``; pass
+    :data:`TURBO_INT8_MAX_CODE` (119) for the paper's INT8 stage.
+    """
+    if max_code is None:
+        max_code = int_range(bits, symmetric=True)[1]
+    absmax = _keepdims_stat(np.abs(np.asarray(x, dtype=np.float64)), axis, np.max)
+    return np.maximum(absmax, _EPS) / float(max_code)
+
+
+def quantize_symmetric(
+    x: np.ndarray,
+    bits: int = 8,
+    axis: Axis = None,
+    max_code: Optional[int] = None,
+    scale: Optional[np.ndarray] = None,
+    clamp_code: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric quantization: returns ``(codes, scale)``.
+
+    Parameters
+    ----------
+    x:
+        Input tensor (any float dtype; promoted to float64).
+    bits:
+        Target bit-width.  Codes are returned as the narrowest signed NumPy
+        integer dtype that holds them (int8 for <= 8 bits).
+    axis:
+        Reduction axis/axes for the scale statistics (see module docstring).
+    max_code:
+        Denominator of the scale; defaults to ``2^{b-1}-1``.
+    scale:
+        Pre-computed scale to reuse (the "universal scale" of the enhanced KV
+        buffer, §3.3).  When given, out-of-range values are clamped — this is
+        exactly the paper's outlier-clamping behaviour.
+    clamp_code:
+        Code magnitude bound used when clamping under a reused ``scale``.
+        Defaults to ``max_code``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if max_code is None:
+        max_code = int_range(bits, symmetric=True)[1]
+    if scale is None:
+        scale = symmetric_scale(x, bits=bits, axis=axis, max_code=max_code)
+    else:
+        scale = np.asarray(scale, dtype=np.float64)
+    bound = int(max_code if clamp_code is None else clamp_code)
+    codes = np.rint(x / scale)
+    codes = np.clip(codes, -bound, bound)
+    dtype = np.int8 if bits <= 8 else np.int16
+    return codes.astype(dtype), scale
+
+
+def dequantize_symmetric(codes: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`quantize_symmetric`: ``x_hat = codes * scale``."""
+    return codes.astype(np.float64) * np.asarray(scale, dtype=np.float64)
+
+
+def quantize_asymmetric(
+    x: np.ndarray, bits: int, axis: Axis = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Asymmetric quantization: returns ``(codes, scale, zero_point)``.
+
+    ``zero_point`` is the per-slice minimum (the paper's ``z = x_min``);
+    codes are unsigned in ``[0, 2^bits - 1]``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    lo, hi = int_range(bits, symmetric=False)
+    xmin = _keepdims_stat(x, axis, np.min)
+    xmax = _keepdims_stat(x, axis, np.max)
+    scale = np.maximum(xmax - xmin, _EPS) / float(hi)
+    codes = np.clip(np.rint((x - xmin) / scale), lo, hi)
+    dtype = np.uint8 if bits <= 8 else np.uint16
+    return codes.astype(dtype), scale, xmin
+
+
+def dequantize_asymmetric(
+    codes: np.ndarray, scale: np.ndarray, zero_point: np.ndarray
+) -> np.ndarray:
+    """Inverse of :func:`quantize_asymmetric`: ``x_hat = codes*s + z``."""
+    return codes.astype(np.float64) * np.asarray(scale, dtype=np.float64) + np.asarray(
+        zero_point, dtype=np.float64
+    )
+
+
+def grouped_reshape(x: np.ndarray, group_size: int, axis: int) -> np.ndarray:
+    """Split ``axis`` of ``x`` into contiguous groups of ``group_size``.
+
+    Returns a view-shaped array with ``axis`` replaced by two axes
+    ``(n_groups, group_size)``.  The axis length must divide evenly; callers
+    that handle ragged tails (e.g. KV caches) pad before grouping.
+    """
+    x = np.asarray(x)
+    axis = axis % x.ndim
+    n = x.shape[axis]
+    if n % group_size != 0:
+        raise ValueError(
+            f"axis length {n} is not divisible by group size {group_size}"
+        )
+    new_shape = x.shape[:axis] + (n // group_size, group_size) + x.shape[axis + 1 :]
+    return x.reshape(new_shape)
+
+
+def grouped_unreshape(x: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse of :func:`grouped_reshape`: merge ``(axis, axis+1)`` back."""
+    x = np.asarray(x)
+    axis = axis % x.ndim
+    new_shape = x.shape[:axis] + (x.shape[axis] * x.shape[axis + 1],) + x.shape[axis + 2 :]
+    return x.reshape(new_shape)

@@ -1,0 +1,31 @@
+"""SAS — Sparsity-based Softmax Approximation (paper §4, Algorithm 3).
+
+Replaces FP32 exponentiation inside the attention loop with:
+
+* a lookup table over the integer part of the (negative) exponent, which
+  stays tiny because the sparsity threshold ``n_r`` zeroes everything below
+  e.g. −6, and
+* a degree-3 polynomial (Eq. 15) over the fractional part in ``[0, 1)``,
+  evaluated in FP16 — tensor-core friendly.
+"""
+
+from repro.sas.poly import (
+    PAPER_POLY_COEFFS,
+    poly_eval,
+    fit_exp_poly,
+    poly_max_error,
+)
+from repro.sas.lut import ExpLUT
+from repro.sas.softmax import SASConfig, SAS, sas_exp, sas_softmax
+
+__all__ = [
+    "PAPER_POLY_COEFFS",
+    "poly_eval",
+    "fit_exp_poly",
+    "poly_max_error",
+    "ExpLUT",
+    "SASConfig",
+    "SAS",
+    "sas_exp",
+    "sas_softmax",
+]

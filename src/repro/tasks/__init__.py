@@ -1,0 +1,35 @@
+"""Synthetic evaluation tasks.
+
+The paper evaluates on GSM8k / AQuA / BBH with 8-shot chain-of-thought
+prompts (average prefill lengths 900 / 1304 / 1021) and 256 generated
+tokens.  Those benchmarks need trained checkpoints; what KV-cache
+quantization actually perturbs in them is *long-range retrieval through
+the cache during generation*.  We therefore substitute constructed
+associative-recall tasks that:
+
+* store key/value pairs in the prompt (prefill), shaped with each model's
+  channel-outlier profile,
+* issue multi-hop retrieval queries during decode (mimicking CoT steps
+  that must read earlier facts), and
+* score the fraction of correct retrievals.
+
+A method is "near-lossless" exactly when its compressed cache still
+returns the right value for every query — the property Table 2 measures.
+Task configs mirror the paper's prefill lengths and 256-step generations.
+"""
+
+from repro.tasks.recall import RecallTask, RecallResult, evaluate_backend
+from repro.tasks.datasets import TASK_PRESETS, task_for_model
+from repro.tasks.needle import NeedleTask, NeedleResult, evaluate_needle, depth_sweep
+
+__all__ = [
+    "RecallTask",
+    "RecallResult",
+    "evaluate_backend",
+    "TASK_PRESETS",
+    "task_for_model",
+    "NeedleTask",
+    "NeedleResult",
+    "evaluate_needle",
+    "depth_sweep",
+]

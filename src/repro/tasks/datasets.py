@@ -1,0 +1,61 @@
+"""Task presets mirroring the paper's benchmark suite.
+
+Prefill lengths copy the paper's reported CoT prompt averages (GSM8k 900,
+AQuA 1304, BBH 1021); all generate 256 steps.  Difficulty (pair count and
+key sharpness) is staggered so the three tasks stress the cache
+differently, the way the real benchmarks do: AQuA has the most stored
+facts (longest prompts, densest retrieval), BBH intermediate, GSM8k the
+sharpest queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.models.config import MODEL_PRESETS, ModelConfig
+from repro.tasks.recall import RecallTask
+
+__all__ = ["TASK_PRESETS", "task_for_model"]
+
+TASK_PRESETS: Dict[str, RecallTask] = {
+    "gsm8k_like": RecallTask(
+        name="gsm8k_like",
+        prefill_len=900,
+        n_pairs=64,
+        n_hops=256,
+        beta=5.0,
+        gamma=4.0,
+        value_coherence=0.90,
+        seed=11,
+    ),
+    "aqua_like": RecallTask(
+        name="aqua_like",
+        prefill_len=1304,
+        n_pairs=96,
+        n_hops=256,
+        beta=5.0,
+        gamma=4.0,
+        value_coherence=0.93,
+        seed=12,
+    ),
+    "bbh_like": RecallTask(
+        name="bbh_like",
+        prefill_len=1021,
+        n_pairs=80,
+        n_hops=256,
+        beta=5.0,
+        gamma=4.0,
+        value_coherence=0.92,
+        seed=13,
+    ),
+}
+
+
+def task_for_model(task_name: str, model_name: str) -> tuple:
+    """Resolve (task, model) preset pair, validating names."""
+    if task_name not in TASK_PRESETS:
+        raise KeyError(f"unknown task {task_name!r}; choose from {sorted(TASK_PRESETS)}")
+    if model_name not in MODEL_PRESETS:
+        raise KeyError(f"unknown model {model_name!r}; choose from {sorted(MODEL_PRESETS)}")
+    model: ModelConfig = MODEL_PRESETS[model_name]
+    return TASK_PRESETS[task_name], model

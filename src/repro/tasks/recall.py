@@ -1,0 +1,236 @@
+"""Multi-hop associative recall through an attention backend.
+
+Task construction
+-----------------
+A codebook of ``n_pairs`` (key, value) pairs is embedded in the prompt:
+position ``j`` of the prefill carries ``key_j`` in the key stream and
+``value_j`` in the value stream; remaining positions hold distractors,
+padding the prompt to the configured length (matching the paper's CoT
+prompt sizes).
+
+The geometry is engineered so the task is solved ~100% by an exact cache,
+making any accuracy drop attributable to cache compression:
+
+* Content vectors ``a_i`` are unit vectors orthogonal to a dedicated
+  "relevance" channel ``u``.  Stored keys are ``g ∘ (beta a_i + gamma u)``
+  where ``g`` is the head's channel-outlier gain vector; queries are
+  ``(beta a_i + gamma u) / g``.  Scores are then *independent of the
+  gains*: match = ``beta^2 + gamma^2``, wrong pair = ``beta^2 c_ij +
+  gamma^2``, distractor ≈ ``-gamma^2``.  The gains still shape the stored
+  key tensor — exactly the channel-outlier structure of Figure 4 that a
+  quantizer must survive.
+* Distractor keys carry ``-gamma u``, so the softmax suppresses the
+  hundreds of irrelevant positions the way trained attention does.
+* Values are gain-shaped unit vectors (Phi3-like profiles put strong
+  outlier gains here, which is what breaks token-wise value quantization).
+
+Evaluation
+----------
+After ``backend.prefill`` compresses the prompt, ``n_hops`` decode steps
+each query one pair (teacher-forced chain), append a distractor K/V (so
+buffers/residual windows advance as in real generation), and score whether
+each head's output is closest (cosine) to the expected value in the
+codebook.  Accuracy is the mean over hops and heads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.outliers import channel_scales
+
+__all__ = ["RecallTask", "RecallResult", "evaluate_backend", "build_streams"]
+
+
+@dataclass(frozen=True)
+class RecallTask:
+    """Configuration of one synthetic recall benchmark.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. ``"gsm8k_like"``).
+    prefill_len:
+        Prompt length; matches the paper's average CoT prompt sizes.
+    n_pairs:
+        Number of stored (key, value) pairs; more pairs = smaller score
+        margins = harder retrieval.
+    n_hops:
+        Decode steps (the paper generates 256 tokens).
+    beta:
+        Content sharpness: the match-vs-wrong score margin scales with
+        ``beta^2 (1 - max_cross_correlation) / sqrt(d)``.
+    gamma:
+        Relevance sharpness: distractor positions sit ``2 gamma^2 /
+        sqrt(d)`` below pair positions in score.
+    distractor_norm:
+        Norm of distractor content noise.
+    value_coherence:
+        Pairwise cosine similarity of codebook values (0 = independent).
+        Clustered values shrink the nearest-neighbour decoding margin, so
+        value-cache quantization noise — not key scores — becomes the
+        failure mode; this is the regime where the paper's channel-wise
+        value quantization separates from KIVI's token-wise scheme.
+    seed:
+        Base RNG seed (combined with the model seed for determinism).
+    """
+
+    name: str
+    prefill_len: int = 900
+    n_pairs: int = 48
+    n_hops: int = 256
+    beta: float = 5.0
+    gamma: float = 4.0
+    distractor_norm: float = 0.5
+    value_coherence: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_pairs > self.prefill_len:
+            raise ValueError("n_pairs cannot exceed prefill_len")
+        if self.beta <= 0 or self.gamma < 0:
+            raise ValueError("beta must be positive and gamma non-negative")
+        if not 0.0 <= self.value_coherence < 1.0:
+            raise ValueError("value_coherence must lie in [0, 1)")
+
+
+@dataclass
+class RecallResult:
+    """Accuracy plus cache statistics from one evaluation run."""
+
+    accuracy: float
+    effective_bits: float
+    compression_ratio: float
+
+
+def _unit_rows(rng: np.random.Generator, n: int, d: int, zero_first: bool = False) -> np.ndarray:
+    """Random unit rows; optionally orthogonal to the relevance channel."""
+    x = rng.standard_normal((n, d))
+    if zero_first:
+        x[:, 0] = 0.0
+    return x / np.linalg.norm(x, axis=1, keepdims=True)
+
+
+def build_streams(
+    task: RecallTask, model: ModelConfig, rng: np.random.Generator
+) -> Tuple[np.ndarray, ...]:
+    """Construct the prompt tensors and codebooks for one run.
+
+    Returns ``(k_prompt, v_prompt, queries, values, gains_v)``:
+
+    * ``k_prompt``/``v_prompt`` — ``(kv_heads, prefill_len, head_dim)``;
+    * ``queries`` — ``(kv_heads, n_pairs, head_dim)`` gain-corrected query
+      vectors, one per pair per head;
+    * ``values`` — ``(n_pairs, head_dim)`` logical answer vectors;
+    * ``gains_v`` — ``(kv_heads, head_dim)`` value gains (for decoding).
+    """
+    hkv, d = model.n_kv_heads, model.head_dim
+    n, m = task.prefill_len, task.n_pairs
+    prof = model.outliers
+    beta, gamma = task.beta, task.gamma
+
+    u = np.zeros(d)
+    u[0] = 1.0
+    content = _unit_rows(rng, m, d, zero_first=True)          # a_i ⊥ u
+    values = _unit_rows(rng, m, d)
+    if task.value_coherence > 0.0:
+        # Cluster values around a shared center: pairwise cosine ~= coherence.
+        center = _unit_rows(rng, 1, d)[0]
+        values = np.sqrt(task.value_coherence) * center + np.sqrt(
+            1.0 - task.value_coherence
+        ) * values
+        values /= np.linalg.norm(values, axis=1, keepdims=True)
+    positions = rng.choice(n, size=m, replace=False)
+    logical_keys = beta * content + gamma * u                  # (m, d)
+
+    gains_k = np.stack(
+        [
+            channel_scales(d, prof.key_outlier_fraction, prof.key_outlier_gain, prof.jitter, rng)
+            for _ in range(hkv)
+        ]
+    )
+    gains_v = np.stack(
+        [
+            channel_scales(d, prof.value_outlier_fraction, prof.value_outlier_gain, prof.jitter, rng)
+            for _ in range(hkv)
+        ]
+    )
+
+    noise = _unit_rows(rng, hkv * n, d, zero_first=True).reshape(hkv, n, d)
+    k_prompt = (noise * task.distractor_norm - gamma * u) * gains_k[:, None, :]
+    v_prompt = (
+        _unit_rows(rng, hkv * n, d).reshape(hkv, n, d)
+        * task.distractor_norm
+        * gains_v[:, None, :]
+    )
+    for h in range(hkv):
+        k_prompt[h, positions, :] = logical_keys * gains_k[h]
+        v_prompt[h, positions, :] = values * gains_v[h]
+
+    queries = logical_keys[None, :, :] / gains_k[:, None, :]  # (hkv, m, d)
+    return k_prompt, v_prompt, queries, values, gains_v
+
+
+def evaluate_backend(
+    backend_factory: Callable[[], object],
+    task: RecallTask,
+    model: ModelConfig,
+) -> RecallResult:
+    """Score one attention backend on one task under one model profile."""
+    rng = np.random.default_rng(task.seed * 7919 + model.seed)
+    hkv, hq, d = model.n_kv_heads, model.n_heads, model.head_dim
+    g = hq // hkv
+    k_prompt, v_prompt, queries, values, gains_v = build_streams(task, model, rng)
+
+    # Prompt-position queries are irrelevant (output discarded), but the
+    # backend must compress the full prompt through its real prefill path.
+    q_prompt = np.repeat(
+        rng.standard_normal((hkv, task.prefill_len, d)) * task.distractor_norm, g, axis=0
+    )
+    backend = backend_factory()
+    _, state = backend.prefill(q_prompt, k_prompt, v_prompt, causal=True)
+
+    # Decoding happens in *logical* space: the head's output is divided by
+    # its value gains before the nearest-neighbour match (the constructed
+    # model "knows" its own projections, as a trained unembedding would).
+    # Channel-wise quantizers put noise proportional to each channel's own
+    # range, which stays small after gain correction; token-wise quantizers
+    # let outlier channels inflate every channel's noise — the Figure 10
+    # mechanism this task is designed to surface.
+    codebooks = np.broadcast_to(values[None, :, :], (hkv,) + values.shape)
+
+    u = np.zeros(d)
+    u[0] = 1.0
+    chain = rng.permutation(task.n_pairs)
+    idx = int(rng.integers(task.n_pairs))
+    correct = 0
+    total = 0
+    for _hop in range(task.n_hops):
+        q_t = np.repeat(queries[:, idx, :], g, axis=0)          # (hq, d)
+        # Appended K/V look like distractors: low relevance, noise values.
+        k_noise = rng.standard_normal((hkv, d))
+        k_noise[:, 0] = 0.0
+        k_noise /= np.maximum(np.linalg.norm(k_noise, axis=-1, keepdims=True), 1e-12)
+        k_t = (k_noise * task.distractor_norm - task.gamma * u) * np.stack(
+            [np.ones(d)] * hkv
+        )
+        v_t = rng.standard_normal((hkv, d)) * task.distractor_norm
+        out = backend.decode_step(q_t, k_t, v_t, state)         # (hq, d)
+        out_heads = out.reshape(hkv, g, d)
+        for h in range(hkv):
+            corrected = out_heads[h] / gains_v[h]               # logical space
+            sims = codebooks[h] @ corrected.T                   # (m, g)
+            picks = np.argmax(sims, axis=0)
+            correct += int(np.sum(picks == idx))
+            total += g
+        idx = int(chain[idx])
+
+    return RecallResult(
+        accuracy=correct / total,
+        effective_bits=float(state.effective_bits_per_value()),
+        compression_ratio=float(state.compression_ratio()),
+    )

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need other seeds create their own."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def qkv(rng):
+    """Small multi-head Q/K/V triple of shape (4, 96, 32)."""
+    h, n, d = 4, 96, 32
+    return (
+        rng.standard_normal((h, n, d)),
+        rng.standard_normal((h, n, d)),
+        rng.standard_normal((h, n, d)),
+    )

@@ -1,0 +1,142 @@
+"""Tests for reference attention, masks, and the online softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.masks import NEG_INF, causal_mask, causal_mask_block
+from repro.attention.online_softmax import OnlineSoftmaxState, online_softmax
+from repro.attention.reference import reference_attention, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.standard_normal((5, 9)))
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+    def test_extreme_values_stable(self):
+        p = softmax(np.array([1e4, 0.0, -1e4]))
+        assert np.isfinite(p).all() and p[0] == pytest.approx(1.0)
+
+
+class TestCausalMask:
+    def test_square_structure(self):
+        m = causal_mask(4, 4)
+        assert np.all(np.triu(np.ones((4, 4)), k=1).astype(bool) == (m == NEG_INF))
+
+    def test_decode_alignment(self):
+        # One query against 5 keys: everything visible.
+        m = causal_mask(1, 5)
+        assert np.all(m == 0)
+
+    def test_partial_query_window(self):
+        # 2 queries at the end of 4 keys: row 0 sees keys 0-2, row 1 all.
+        m = causal_mask(2, 4)
+        assert m[0, 3] == NEG_INF and np.all(m[0, :3] == 0)
+        assert np.all(m[1] == 0)
+
+    def test_more_queries_than_keys_raises(self):
+        with pytest.raises(ValueError):
+            causal_mask(5, 4)
+
+    def test_block_mask_consistent_with_full(self):
+        full = causal_mask(8, 8)
+        for qs in (0, 4):
+            for ks in (0, 4):
+                blk = causal_mask_block(qs, 4, ks, 4, offset=0)
+                np.testing.assert_array_equal(blk, full[qs : qs + 4, ks : ks + 4])
+
+
+class TestReferenceAttention:
+    def test_uniform_scores_average_values(self, rng):
+        # Identical keys -> uniform attention -> output = mean of values.
+        q = rng.standard_normal((1, 3, 8))
+        k = np.ones((1, 5, 8))
+        v = rng.standard_normal((1, 5, 8))
+        out = reference_attention(q, k, v)
+        np.testing.assert_allclose(out, np.broadcast_to(v.mean(axis=1, keepdims=True), out.shape))
+
+    def test_one_hot_retrieval(self):
+        # Sharp matching key -> output ~= that key's value.
+        d = 16
+        q = np.zeros((1, 1, d))
+        q[0, 0, 0] = 50.0
+        k = np.zeros((1, 4, d))
+        k[0, 2, 0] = 50.0
+        v = np.arange(4 * d, dtype=np.float64).reshape(1, 4, d)
+        out = reference_attention(q, k, v)
+        np.testing.assert_allclose(out[0, 0], v[0, 2], rtol=1e-6)
+
+    def test_mask_blocks_future(self, rng):
+        q, k, v = (rng.standard_normal((2, 6, 8)) for _ in range(3))
+        masked = reference_attention(q, k, v, mask=causal_mask(6, 6))
+        # Row 0 with causal mask only sees key 0 -> output is v[0].
+        np.testing.assert_allclose(masked[:, 0, :], v[:, 0, :], rtol=1e-9)
+
+    def test_lse_definition(self, rng):
+        q, k, v = (rng.standard_normal((1, 4, 8)) for _ in range(3))
+        out, lse = reference_attention(q, k, v, return_lse=True)
+        s = (q @ np.swapaxes(k, -1, -2)) / np.sqrt(8)
+        expected = np.log(np.exp(s).sum(axis=-1))
+        np.testing.assert_allclose(lse, expected, rtol=1e-9)
+
+    def test_custom_scale(self, rng):
+        q, k, v = (rng.standard_normal((1, 4, 8)) for _ in range(3))
+        a = reference_attention(q, k, v, scale=1.0)
+        b = reference_attention(q * 2, k, v, scale=0.5)
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+class TestOnlineSoftmax:
+    def test_matches_two_pass(self, rng):
+        x = rng.standard_normal((3, 7, 50))
+        np.testing.assert_allclose(online_softmax(x, tile=16), softmax(x), rtol=1e-12)
+
+    @given(st.integers(1, 7), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_any_tiling(self, tile, n):
+        rng = np.random.default_rng(n * 131 + tile)
+        x = rng.standard_normal((2, 3, n))
+        np.testing.assert_allclose(online_softmax(x, tile=tile), softmax(x), rtol=1e-12)
+
+    def test_state_accumulates_output(self, rng):
+        scores = rng.standard_normal((2, 4, 24))
+        values = rng.standard_normal((2, 24, 8))
+        state = OnlineSoftmaxState.initial((2,), 4, d_v=8)
+        for s in range(0, 24, 8):
+            state.update(scores[..., s : s + 8], values=values[..., s : s + 8, :])
+        out, lse = state.finalize()
+        expected = softmax(scores) @ values
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+        np.testing.assert_allclose(
+            lse, np.log(np.exp(scores).sum(axis=-1)), rtol=1e-12
+        )
+
+    def test_masked_rows_yield_zero(self):
+        state = OnlineSoftmaxState.initial((), 2, d_v=4)
+        scores = np.full((2, 8), -np.inf)
+        scores[1, 0] = 1.0
+        state.update(scores, values=np.ones((8, 4)))
+        out, lse = state.finalize()
+        np.testing.assert_array_equal(out[0], 0.0)
+        assert lse[0] == -np.inf
+        np.testing.assert_allclose(out[1], 1.0)
+
+    def test_p_transform_applies_only_to_output(self, rng):
+        scores = rng.standard_normal((2, 16))
+        values = rng.standard_normal((16, 4))
+        zero_transform = lambda p: np.zeros_like(p)
+        state = OnlineSoftmaxState.initial((), 2, d_v=4)
+        state.update(scores, values=values, p_transform=zero_transform)
+        out, lse = state.finalize()
+        np.testing.assert_array_equal(out, 0.0)  # transform zeroed the PV path
+        assert np.all(np.isfinite(lse))  # ...but l still accumulated
+
+    def test_update_requires_values_when_accumulating(self, rng):
+        state = OnlineSoftmaxState.initial((), 2, d_v=4)
+        with pytest.raises(ValueError):
+            state.update(rng.standard_normal((2, 8)))

@@ -1,0 +1,54 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert args.batch == 4 and args.phase == "decode"
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eval", "--model", "gpt5"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "TurboAttention" in out and "turbo_mixed" in out
+
+    def test_perf(self, capsys):
+        assert main(["perf", "--batch", "2", "--context", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "vs fp16" in out and "turbo4" in out
+
+    def test_perf_prefill(self, capsys):
+        assert main(["perf", "--phase", "prefill"]) == 0
+        assert "prefill latency" in capsys.readouterr().out
+
+    def test_eval_single_method(self, capsys):
+        assert main(
+            ["eval", "--model", "llama3ish", "--task", "gsm8k_like", "--method", "fp16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "100.0" in out  # FP16 solves the task
+
+    def test_serve_single_method(self, capsys):
+        assert main(
+            ["serve", "--rate", "4", "--requests", "10", "--method", "turbo_mixed"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tok/s" in out
+
+    def test_harness_quick_subset(self, capsys):
+        assert main(["harness", "fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "POLY" in out

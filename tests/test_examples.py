@@ -1,0 +1,60 @@
+"""Smoke tests: the shipped examples run end-to-end.
+
+The slow, flag-less example (reasoning_eval) is exercised through its
+underlying harness elsewhere; here we run everything that finishes in
+seconds, with shrunken CLI arguments where supported.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [script, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "compression" in out
+
+    def test_long_context_serving(self, capsys):
+        _run("long_context_serving.py")
+        out = capsys.readouterr().out
+        assert "OOM" in out and "Max throughput" in out
+
+    def test_cache_persistence(self, capsys):
+        _run("cache_persistence.py")
+        out = capsys.readouterr().out
+        assert "identical: True" in out
+
+    def test_kernel_engineering(self, capsys):
+        _run("kernel_engineering.py")
+        out = capsys.readouterr().out
+        assert "Roofline" in out and "identical to the kernel: True" in out
+
+    def test_llm_generation_small(self, capsys):
+        _run("llm_generation.py", ["--tokens", "8"])
+        out = capsys.readouterr().out
+        assert "Generation fidelity" in out
+
+    def test_serving_simulation_small(self, capsys):
+        _run("serving_simulation.py", ["--requests", "12", "--rate", "5"])
+        out = capsys.readouterr().out
+        assert "Open-system serving comparison" in out
+
+    def test_headwise_tuning(self, capsys):
+        _run("headwise_tuning.py")
+        out = capsys.readouterr().out
+        assert "priority" in out

@@ -1,0 +1,82 @@
+"""Tests for the tiled flash attention kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.flash import flash_attention
+from repro.attention.masks import causal_mask
+from repro.attention.reference import reference_attention
+
+
+class TestExactness:
+    def test_matches_reference(self, qkv):
+        q, k, v = qkv
+        out = flash_attention(q, k, v)
+        np.testing.assert_allclose(out, reference_attention(q, k, v), atol=1e-12)
+
+    def test_matches_reference_causal(self, qkv):
+        q, k, v = qkv
+        n = q.shape[1]
+        out = flash_attention(q, k, v, causal=True)
+        expected = reference_attention(q, k, v, mask=causal_mask(n, n))
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    @given(
+        st.integers(1, 3),  # heads
+        st.integers(1, 70),  # n
+        st.sampled_from([8, 16]),  # d
+        st.sampled_from([1, 3, 16, 64]),  # block_q
+        st.sampled_from([1, 5, 16, 64]),  # block_k
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_blocking_property(self, h, n, d, bq, bk, causal):
+        rng = np.random.default_rng(h * 1000 + n * 10 + d + bq + bk)
+        q, k, v = (rng.standard_normal((h, n, d)) for _ in range(3))
+        out = flash_attention(q, k, v, block_q=bq, block_k=bk, causal=causal)
+        mask = causal_mask(n, n) if causal else None
+        expected = reference_attention(q, k, v, mask=mask)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    def test_decode_shape(self, rng):
+        # Fewer queries than keys (decode-aligned causal).
+        q = rng.standard_normal((2, 1, 16))
+        k = rng.standard_normal((2, 37, 16))
+        v = rng.standard_normal((2, 37, 16))
+        out = flash_attention(q, k, v, causal=True)
+        expected = reference_attention(q, k, v, mask=causal_mask(1, 37))
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_lse_matches_reference(self, qkv):
+        q, k, v = qkv
+        _, lse = flash_attention(q, k, v, return_lse=True)
+        _, expected = reference_attention(q, k, v, return_lse=True)
+        np.testing.assert_allclose(lse, expected, atol=1e-12)
+
+
+class TestFP16Emulation:
+    def test_error_small_but_nonzero(self, qkv):
+        q, k, v = qkv
+        exact = reference_attention(q, k, v)
+        approx = flash_attention(q, k, v, emulate_fp16=True)
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert 0.0 < rel < 5e-3
+
+    def test_causal_fp16(self, qkv):
+        q, k, v = qkv
+        n = q.shape[1]
+        exact = reference_attention(q, k, v, mask=causal_mask(n, n))
+        approx = flash_attention(q, k, v, causal=True, emulate_fp16=True)
+        rel = np.linalg.norm(approx - exact) / np.linalg.norm(exact)
+        assert rel < 5e-3
+
+
+class TestEarlyExit:
+    def test_causal_skips_future_tiles(self, rng):
+        """The causal early break must not change results (it only skips
+        fully-masked tiles)."""
+        q, k, v = (rng.standard_normal((1, 100, 8)) for _ in range(3))
+        small = flash_attention(q, k, v, block_q=16, block_k=16, causal=True)
+        big = flash_attention(q, k, v, block_q=100, block_k=100, causal=True)
+        np.testing.assert_allclose(small, big, atol=1e-10)

@@ -1,0 +1,88 @@
+"""Tests for the low-precision float emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fp.formats import BF16, FP16, FP32, fp16_matmul, quantize_to_format
+
+
+class TestQuantizeToFormat:
+    def test_fp16_idempotent(self, rng):
+        x = rng.standard_normal(100)
+        once = quantize_to_format(x, FP16)
+        twice = quantize_to_format(once, FP16)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_bf16_idempotent(self, rng):
+        x = rng.standard_normal(100)
+        once = quantize_to_format(x, BF16)
+        twice = quantize_to_format(once, BF16)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_fp16_relative_error_bound(self, rng):
+        x = rng.standard_normal(1000)
+        err = np.abs(quantize_to_format(x, FP16) - x)
+        # Round-to-nearest: relative error <= 2^-11.
+        assert np.all(err <= np.abs(x) * 2.0**-11 + 1e-12)
+
+    def test_bf16_relative_error_bound(self, rng):
+        x = rng.standard_normal(1000)
+        err = np.abs(quantize_to_format(x, BF16) - x)
+        assert np.all(err <= np.abs(x) * 2.0**-8 + 1e-12)
+
+    def test_bf16_coarser_than_fp16(self, rng):
+        x = rng.standard_normal(4096) * 0.7
+        e16 = np.abs(quantize_to_format(x, FP16) - x).mean()
+        e_bf = np.abs(quantize_to_format(x, BF16) - x).mean()
+        assert e_bf > e16
+
+    def test_fp32_near_exact(self, rng):
+        x = rng.standard_normal(100)
+        err = np.abs(quantize_to_format(x, FP32) - x)
+        assert np.all(err <= np.abs(x) * 2.0**-24 + 1e-30)
+
+    def test_exact_values_preserved(self):
+        # Powers of two and small integers are exact in all formats.
+        x = np.array([0.0, 1.0, -2.0, 0.5, 4.0, -0.25])
+        for fmt in (FP16, BF16, FP32):
+            np.testing.assert_array_equal(quantize_to_format(x, fmt), x)
+
+    def test_unknown_format_raises(self):
+        from repro.fp.formats import FloatFormat
+
+        bogus = FloatFormat(name="fp8", exponent_bits=4, mantissa_bits=3, bytes=1)
+        with pytest.raises(ValueError):
+            quantize_to_format(np.zeros(3), bogus)
+
+    @given(st.floats(min_value=-60000, max_value=60000, allow_nan=False))
+    def test_fp16_matches_numpy_cast(self, value):
+        out = quantize_to_format(np.array([value]), FP16)[0]
+        assert out == float(np.float16(value))
+
+
+class TestFp16Matmul:
+    def test_matches_float_for_exact_inputs(self, rng):
+        # Small integers are exactly representable: the only difference
+        # from float64 matmul is fp32 accumulation, negligible here.
+        a = rng.integers(-8, 8, size=(16, 32)).astype(np.float64)
+        b = rng.integers(-8, 8, size=(32, 8)).astype(np.float64)
+        np.testing.assert_allclose(fp16_matmul(a, b), a @ b, rtol=1e-6)
+
+    def test_rounds_inputs(self):
+        # 1 + 2^-12 is not representable in fp16; it rounds to 1.
+        a = np.array([[1.0 + 2.0**-12]])
+        b = np.array([[1.0]])
+        assert fp16_matmul(a, b)[0, 0] == 1.0
+
+    def test_batched_shapes(self, rng):
+        a = rng.standard_normal((3, 5, 8, 16))
+        b = rng.standard_normal((3, 5, 16, 4))
+        out = fp16_matmul(a, b)
+        assert out.shape == (3, 5, 8, 4)
+        np.testing.assert_allclose(out, a @ b, atol=0.05)
+
+    def test_format_metadata(self):
+        assert FP16.bytes == 2 and BF16.bytes == 2 and FP32.bytes == 4
+        assert FP16.eps == 2.0**-10
+        assert BF16.eps == 2.0**-7

@@ -1,0 +1,218 @@
+"""Smoke + shape tests for every table/figure harness (quick mode).
+
+Each test runs the harness the benchmarks run in full, at reduced size,
+and asserts the qualitative result the paper reports — these are the
+"does the reproduction still reproduce" regression tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import fig1, fig4, fig5, fig6, fig7a, fig7b, fig10, table1, table2, table3, table4, table5
+
+
+class TestTable1:
+    def test_static_matrix(self):
+        rows = table1.run()
+        assert any(r[0] == "TurboAttention" for r in rows)
+        text = table1.main()
+        assert "TurboAttention" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return table2.run(quick=True)
+
+    def test_full_grid(self, cells):
+        assert len(cells) == 7 * 3 * 3  # methods x models x tasks
+
+    def test_fp16_perfect(self, cells):
+        fp16 = [c for c in cells if c.method == "fp16"]
+        assert all(c.accuracy == 1.0 for c in fp16)
+
+    def test_turbo4_near_lossless(self, cells):
+        accs = [c.accuracy for c in cells if c.method == "turbo_4bit"]
+        assert np.mean(accs) > 0.97
+
+    def test_turbo_mixed_beats_kivi3(self, cells):
+        avg = lambda m: np.mean([c.accuracy for c in cells if c.method == m])
+        assert avg("turbo_mixed") > avg("kivi_3bit")
+
+    def test_turbo_bits_lowest(self, cells):
+        bits = lambda m: np.mean([c.effective_bits for c in cells if c.method == m])
+        assert bits("turbo_4bit") < bits("kivi_4bit") < bits("gear_4bit")
+        assert bits("turbo_mixed") < bits("kivi_3bit")
+
+    def test_render(self, cells):
+        text = table2.render_rows_smoke = table2.main(quick=True)
+        assert "turbo_mixed" in text
+
+
+class TestTable3:
+    def test_block_size_robust(self):
+        rows = table3.run(quick=True)
+        accs = [r.accuracy for r in rows]
+        assert max(accs) - min(accs) < 0.05  # paper: ~0.5 points spread
+
+
+class TestTable4:
+    def test_components_near_lossless(self):
+        rows = {r.method: r.accuracy for r in table4.run(quick=True)}
+        assert rows["fp16"] == 1.0
+        assert rows["flashq_4bit"] >= 0.95
+        assert rows["sas"] >= 0.97
+        assert rows["flashq_4bit+sas"] >= 0.95
+
+
+class TestTable5:
+    def test_composition_graceful(self):
+        rows = {r.method: r for r in table5.run(quick=True)}
+        assert rows["fp16"].agreement == 1.0
+        assert rows["fp16"].logit_kl == pytest.approx(0.0, abs=1e-12)
+        # Composition is at most mildly super-additive on the smooth metric.
+        combined = rows["llm_int8+turbo"].logit_kl
+        parts = rows["llm_int8"].logit_kl + rows["turbo_only"].logit_kl
+        assert combined < 2.0 * parts + 1e-6
+        # Weight quantization alone stays high-fidelity on cosine.
+        assert rows["llm_int8"].logit_cosine > 0.95
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig1.run(quick=True)
+
+    def test_attention_share_monotone(self, res):
+        shares = [p.attention_share for p in res["fig1a"]]
+        assert all(a < b for a, b in zip(shares, shares[1:]))
+
+    def test_fig1b_kivi_dequant_dominant(self, res):
+        assert res["fig1b"]["kivi4"]["dequant"] > 0.3
+        assert "dequant" not in res["fig1b"]["fp16"] or res["fig1b"]["fp16"].get("dequant", 0) == 0
+
+    def test_fig1c_turbo_total_lowest(self, res):
+        totals = {m: d["total_s"] for m, d in res["fig1c"].items()}
+        assert totals["turbo_mixed"] < totals["fp16"] < totals["kivi4"]
+
+
+class TestFig4:
+    def test_channel_outliers_visible(self):
+        res = fig4.run(quick=True)
+        for model in res:
+            assert res[model]["k_channel"].outlier_ratio > 3.0
+
+    def test_phi3_value_channel_heaviest(self):
+        res = fig4.run(quick=True)
+        assert (
+            res["phi3ish"]["v_channel"].outlier_ratio
+            > res["llama3ish"]["v_channel"].outlier_ratio
+        )
+
+
+class TestFig5:
+    def test_fit_quality(self):
+        res = fig5.run()
+        assert res["paper_max_err"] < 5e-4
+        np.testing.assert_allclose(res["refit_coeffs"], res["paper_coeffs"], atol=2e-3)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return fig6.run(quick=True)
+
+    def test_turbo_always_above_one(self, res):
+        for panel in res.values():
+            for p in panel:
+                if p.method.startswith("turbo") and p.speedup is not None:
+                    assert p.speedup > 1.0
+
+    def test_kivi_below_one_in_decode(self, res):
+        for p in res["batch_sweep_decode"] + res["ctx_sweep_decode"]:
+            if p.method in ("kivi4", "gear4") and p.speedup is not None:
+                assert p.speedup < 1.0
+
+    def test_prefill_speedup_in_paper_band(self, res):
+        speedups = [
+            p.speedup for p in res["ctx_sweep_prefill"]
+            if p.method == "turbo_mixed" and p.speedup is not None
+        ]
+        assert all(1.2 < s < 2.0 for s in speedups)
+
+    def test_fp16_ooms_somewhere(self, res):
+        assert any(p.baseline_oom for p in res["ctx_sweep_decode"])
+
+
+class TestFig7a:
+    def test_max_throughput_ordering(self):
+        res = fig7a.run(quick=True)
+        best = {m: p.tokens_per_second for m, p in res.best.items()}
+        assert best["turbo_mixed"] > best["kivi4"] > best["fp16"]
+        assert 1.5 < best["turbo_mixed"] / best["fp16"] < 3.0
+
+
+class TestFig7b:
+    def test_priority_better_than_entropy_and_random_on_error(self):
+        points = fig7b.run(quick=True)
+        by = {}
+        for p in points:
+            by[(p.method, p.n_two_bit)] = p
+        mid_counts = sorted({p.n_two_bit for p in points})[1:-1]
+        pri = np.mean([by[("priority", n)].cache_error for n in mid_counts])
+        ent = np.mean([by[("entropy", n)].cache_error for n in mid_counts])
+        rand = np.mean([by[("random", n)].cache_error for n in mid_counts])
+        assert pri <= ent + 1e-9
+        assert pri <= rand + 1e-9
+
+    def test_accuracy_degrades_with_more_2bit_heads(self):
+        points = fig7b.run(quick=True)
+        pri = sorted(
+            [p for p in points if p.method == "priority"], key=lambda p: p.n_two_bit
+        )
+        assert pri[0].accuracy >= pri[-1].accuracy
+
+
+class TestFig10:
+    def test_channelwise_strictly_better(self):
+        for r in fig10.run(quick=True):
+            assert r.channelwise_error < r.tokenwise_error
+
+    def test_error_monotone_in_bits(self):
+        rows = fig10.run(quick=True)
+        by_model = {}
+        for r in rows:
+            by_model.setdefault(r.model, {})[r.bits] = r
+        for model, d in by_model.items():
+            assert d[4].channelwise_error < d[3].channelwise_error < d[2].channelwise_error
+
+
+class TestExtensionHarnesses:
+    def test_serving_quick(self):
+        from repro.harness import serving_sim
+
+        cells = serving_sim.run(quick=True)
+        by = {(c.scenario, c.method): c.metrics for c in cells}
+        over = {m: by[("poisson_overload", m)] for m in serving_sim.SERVING_METHODS}
+        assert (
+            over["turbo_mixed"].throughput_tokens_per_s
+            > over["fp16"].throughput_tokens_per_s
+        )
+        assert all(c.metrics.completed == c.metrics.total for c in cells)
+
+    def test_needle_quick(self):
+        from repro.harness import needle
+
+        res = needle.run(quick=True)
+        assert all(r.accuracy == 1.0 for r in res["fp16"])
+        mean = lambda name: np.mean([r.accuracy for r in res[name]])
+        assert mean("turbo_2bit") > mean("kivi_2bit")
+
+    def test_ablations_quick(self):
+        from repro.harness import ablations
+
+        res = ablations.run(quick=True)
+        frontier = sorted(res["two_bit_fraction"], key=lambda p: p.fraction)
+        bits = [p.effective_bits for p in frontier]
+        assert all(a > b for a, b in zip(bits, bits[1:]))
+        assert res["poly_degree"][2].max_error < 5e-4  # degree 3

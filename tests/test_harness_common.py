@@ -1,0 +1,48 @@
+"""Tests for shared harness utilities."""
+
+import numpy as np
+
+from repro.harness.common import accuracy_method_registry, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        # All rows equal width.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
+
+    def test_handles_numbers_and_strings(self):
+        text = render_table(["col"], [[1.5], ["abc"], [None]])
+        assert "1.5" in text and "abc" in text and "None" in text
+
+    def test_empty_rows(self):
+        text = render_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestRegistry:
+    def test_seven_table2_methods(self):
+        reg = accuracy_method_registry()
+        assert len(reg) == 7
+        assert set(reg) == {
+            "fp16", "kivi_4bit", "gear_4bit", "turbo_4bit",
+            "kivi_3bit", "gear_3bit", "turbo_mixed",
+        }
+
+    def test_factories_produce_fresh_backends(self):
+        reg = accuracy_method_registry()
+        a = reg["turbo_mixed"]()
+        b = reg["turbo_mixed"]()
+        assert a is not b
+        assert a.config.mixed_precision
+
+    def test_backends_have_interface(self, rng):
+        q, k, v = (rng.standard_normal((2, 40, 8)) for _ in range(3))
+        for name, factory in accuracy_method_registry().items():
+            backend = factory()
+            out, state = backend.prefill(q, k, v, causal=True)
+            assert out.shape == (2, 40, 8), name
+            assert state.effective_bits_per_value() > 0, name

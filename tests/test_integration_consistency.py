@@ -1,0 +1,120 @@
+"""Cross-module integration and fuzz consistency tests.
+
+These tie the pipeline together: prefill-vs-decode agreement, buffer-flush
+boundary crossings, bookkeeping invariants under randomized workloads, and
+end-to-end model generation through every backend.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.attention.masks import causal_mask
+from repro.attention.reference import reference_attention
+from repro.baselines import FP16Attention, GEARAttention, KIVIAttention
+from repro.core import TurboAttention, TurboConfig
+from repro.models.config import MODEL_PRESETS
+from repro.models.transformer import TransformerLM
+
+
+class TestPrefillDecodeConsistency:
+    def test_turbo_8bit_decode_matches_prefill_row(self, rng):
+        """At 8-bit storage without SAS, a decode step's output matches the
+        corresponding row of a longer prefill (cache-consistency of
+        Algorithms 1 and 2)."""
+        h, n, d = 2, 96, 16
+        q, k, v = (rng.standard_normal((h, n + 1, d)) for _ in range(3))
+        cfg = TurboConfig(block_q=32, block_k=32, buffer_size=32, kv_bits=8, use_sas=False)
+        turbo = TurboAttention(cfg)
+        # Path A: prefill all n+1 tokens; take the last row.
+        out_full, _ = turbo.prefill(q, k, v, causal=True)
+        # Path B: prefill n tokens, decode the last.
+        _, state = turbo.prefill(q[:, :n], k[:, :n], v[:, :n], causal=True)
+        out_step = turbo.decode_step(q[:, n], k[:, n], v[:, n], state)
+        rel = np.linalg.norm(out_step - out_full[:, n]) / np.linalg.norm(out_full[:, n])
+        assert rel < 0.02
+
+    def test_turbo_default_decode_tracks_reference_across_flushes(self, rng):
+        """Error stays bounded while decode crosses several buffer-flush
+        boundaries (no drift from recompression, because there is none)."""
+        h, n, d = 2, 64, 16
+        q, k, v = (rng.standard_normal((h, n, d)) for _ in range(3))
+        turbo = TurboAttention(TurboConfig(block_q=16, block_k=16, buffer_size=16))
+        _, state = turbo.prefill(q, k, v, causal=True)
+        k_all, v_all = k, v
+        rels = []
+        for _ in range(50):  # crosses ~3 flush boundaries
+            q1, k1, v1 = (rng.standard_normal((h, d)) for _ in range(3))
+            out = turbo.decode_step(q1, k1, v1, state)
+            k_all = np.concatenate([k_all, k1[:, None, :]], axis=1)
+            v_all = np.concatenate([v_all, v1[:, None, :]], axis=1)
+            ref = reference_attention(q1[:, None, :], k_all, v_all)[:, 0, :]
+            rels.append(np.linalg.norm(out - ref) / np.linalg.norm(ref))
+        # No upward drift: late-window error comparable to early-window.
+        assert np.mean(rels[-10:]) < 2.5 * np.mean(rels[:10]) + 0.05
+
+    def test_fp16_backend_exact_consistency(self, rng):
+        h, n, d = 2, 40, 16
+        q, k, v = (rng.standard_normal((h, n + 1, d)) for _ in range(3))
+        backend = FP16Attention()
+        out_full, _ = backend.prefill(q, k, v, causal=True)
+        _, state = backend.prefill(q[:, :n], k[:, :n], v[:, :n], causal=True)
+        out_step = backend.decode_step(q[:, n], k[:, n], v[:, n], state)
+        np.testing.assert_allclose(out_step, out_full[:, n], atol=5e-3)
+
+
+class TestBookkeepingFuzz:
+    @given(
+        st.integers(20, 150),   # prefill length
+        st.integers(1, 40),     # decode steps
+        st.sampled_from([16, 32]),  # block size
+        st.sampled_from([2, 4]),    # kv bits
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_invariants_hold(self, n, steps, block, bits):
+        rng = np.random.default_rng(n * 1000 + steps)
+        h, d = 2, 16
+        q, k, v = (rng.standard_normal((h, n, d)) for _ in range(3))
+        turbo = TurboAttention(
+            TurboConfig(block_q=block, block_k=block, buffer_size=block, kv_bits=bits)
+        )
+        _, state = turbo.prefill(q, k, v, causal=True)
+        assert state.seq_len == n
+        prev_bits = state.storage_bits
+        for i in range(steps):
+            out = turbo.decode_step(
+                rng.standard_normal((h, d)),
+                rng.standard_normal((h, d)),
+                rng.standard_normal((h, d)),
+                state,
+            )
+            assert np.all(np.isfinite(out))
+            assert state.seq_len == n + i + 1
+            # Cache blocks are always full-sized; buffer below capacity.
+            assert all(b.length == block for b in state.cache.blocks)
+            assert len(state.buffer) <= block
+        assert state.storage_bits > 0
+        # Compression held throughout (generous bound incl. metadata).
+        assert state.effective_bits_per_value() < bits + 9
+
+
+class TestAllBackendsThroughModel:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            FP16Attention,
+            KIVIAttention,
+            GEARAttention,
+            lambda: TurboAttention(TurboConfig()),
+            lambda: TurboAttention(TurboConfig(mixed_precision=True)),
+        ],
+        ids=["fp16", "kivi", "gear", "turbo4", "turbo_mixed"],
+    )
+    def test_generation_runs_and_is_finite(self, factory):
+        cfg = MODEL_PRESETS["qwen2ish"]
+        model = TransformerLM(cfg, attention_factory=factory)
+        logits = model.prefill(np.arange(70) % cfg.vocab_size)
+        assert np.all(np.isfinite(logits))
+        for t in range(8):
+            step = model.decode_step(int(np.argmax(logits[-1])) if t == 0 else t)
+            assert np.all(np.isfinite(step))

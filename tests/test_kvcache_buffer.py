@@ -1,0 +1,155 @@
+"""Tests for the quantized KV cache and the enhanced decode buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffer import DecodeBuffer
+from repro.core.kvcache import QuantizedKVCache
+from repro.quant.schemes import quantize_symmetric
+
+
+def _tile(rng, h=2, n=64, d=16):
+    x = rng.standard_normal((h, n, d))
+    codes, scale = quantize_symmetric(x, bits=8, axis=(-2, -1), max_code=119)
+    return codes, scale
+
+
+class TestQuantizedKVCache:
+    def _cache(self, h=2, d=16, bits=4, block=64):
+        return QuantizedKVCache(h, d, head_bits=np.full(h, bits), block_size=block)
+
+    def test_append_and_seq_len(self, rng):
+        cache = self._cache()
+        kc, ks = _tile(rng)
+        vc, vs = _tile(rng)
+        cache.append_block(kc, vc, ks, vs)
+        assert cache.seq_len == 64 and len(cache) == 1
+        cache.append_block(kc, vc, ks, vs)
+        assert cache.seq_len == 128
+
+    def test_partial_block(self, rng):
+        cache = self._cache()
+        kc, ks = _tile(rng, n=10)
+        vc, vs = _tile(rng, n=10)
+        cache.append_block(kc, vc, ks, vs)
+        assert cache.seq_len == 10
+
+    def test_oversized_block_raises(self, rng):
+        cache = self._cache(block=32)
+        kc, ks = _tile(rng, n=64)
+        with pytest.raises(ValueError):
+            cache.append_block(kc, kc, ks, ks)
+
+    def test_shape_mismatch_raises(self, rng):
+        cache = self._cache()
+        kc, ks = _tile(rng, h=3)
+        with pytest.raises(ValueError):
+            cache.append_block(kc, kc, ks, ks)
+
+    def test_head_bits_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedKVCache(4, 16, head_bits=np.array([4, 4]), block_size=64)
+
+    def test_iter_decompressed_roundtrip(self, rng):
+        cache = self._cache(bits=8)  # 8-bit stage 2 on small ranges -> exact-ish
+        kc, ks = _tile(rng)
+        vc, vs = _tile(rng)
+        cache.append_block(kc, vc, ks, vs)
+        k8, v8, kscale, vscale, length = next(cache.iter_decompressed())
+        assert length == 64
+        # INT8 stage-2 reconstruction error is bounded by one s_int step.
+        assert np.abs(k8.astype(int) - kc.astype(int)).max() <= cache.blocks[0].k.s_int.max() + 1
+        np.testing.assert_allclose(kscale, ks)
+
+    def test_storage_and_compression(self, rng):
+        cache = self._cache(bits=4)
+        for _ in range(4):
+            kc, ks = _tile(rng)
+            vc, vs = _tile(rng)
+            cache.append_block(kc, vc, ks, vs)
+        assert 3.0 < cache.compression_ratio(16) < 4.0
+        assert 4.0 < cache.effective_bits_per_value() < 5.5
+
+    def test_mixed_bits_compression_better(self, rng):
+        uniform = self._cache(bits=4)
+        mixed = QuantizedKVCache(2, 16, head_bits=np.array([2, 4]), block_size=64)
+        kc, ks = _tile(rng)
+        vc, vs = _tile(rng)
+        uniform.append_block(kc, vc, ks, vs)
+        mixed.append_block(kc, vc, ks, vs)
+        assert mixed.storage_bits < uniform.storage_bits
+
+    def test_empty_cache(self):
+        cache = self._cache()
+        assert cache.seq_len == 0
+        assert cache.storage_bits == 0
+        assert cache.compression_ratio() == 1.0
+
+
+class TestDecodeBuffer:
+    def _buffer(self, h=2, d=16, cap=8):
+        return DecodeBuffer(
+            h, d, capacity=cap,
+            k_scale=np.full((h, 1, 1), 0.05),
+            v_scale=np.full((h, 1, 1), 0.05),
+        )
+
+    def test_append_and_len(self, rng):
+        buf = self._buffer()
+        for i in range(5):
+            buf.append(rng.standard_normal((2, 16)), rng.standard_normal((2, 16)))
+            assert len(buf) == i + 1
+
+    def test_full_raises(self, rng):
+        buf = self._buffer(cap=2)
+        for _ in range(2):
+            buf.append(rng.standard_normal((2, 16)), rng.standard_normal((2, 16)))
+        assert buf.is_full
+        with pytest.raises(RuntimeError):
+            buf.append(rng.standard_normal((2, 16)), rng.standard_normal((2, 16)))
+
+    def test_quantization_uses_frozen_scale(self):
+        buf = self._buffer()
+        k = np.full((2, 16), 0.5)  # 0.5 / 0.05 = code 10
+        buf.append(k, k)
+        k_codes, _ = buf.codes()
+        assert np.all(k_codes == 10)
+
+    def test_outlier_clamping(self):
+        buf = self._buffer()
+        k = np.full((2, 16), 100.0)  # would be code 2000 -> clamped to 119
+        buf.append(k, np.zeros((2, 16)))
+        k_codes, _ = buf.codes()
+        assert np.all(k_codes == 119)
+        assert buf.clamped_total == 2 * 16
+
+    def test_drain_clears(self, rng):
+        buf = self._buffer()
+        for _ in range(3):
+            buf.append(rng.standard_normal((2, 16)), rng.standard_normal((2, 16)))
+        k_codes, v_codes, k_scale, v_scale = buf.drain()
+        assert k_codes.shape == (2, 3, 16)
+        assert len(buf) == 0
+        np.testing.assert_allclose(k_scale, 0.05)
+
+    def test_drain_returns_copy(self, rng):
+        buf = self._buffer()
+        buf.append(np.ones((2, 16)), np.ones((2, 16)))
+        k_codes, *_ = buf.drain()
+        buf.append(np.full((2, 16), -1.0), np.ones((2, 16)))
+        assert np.all(k_codes == 20)  # unchanged by later appends
+
+    def test_extend(self, rng):
+        buf = self._buffer()
+        buf.extend(rng.standard_normal((2, 4, 16)), rng.standard_normal((2, 4, 16)))
+        assert len(buf) == 4
+
+    def test_storage_bits(self, rng):
+        buf = self._buffer()
+        buf.append(np.ones((2, 16)), np.ones((2, 16)))
+        # 2 tensors * 1 token * 2 heads * 16 dims * 8 bits + 2 scales * 2 heads * 16.
+        assert buf.storage_bits == 2 * 2 * 16 * 8 + 2 * 2 * 16
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DecodeBuffer(1, 4, capacity=0, k_scale=np.ones((1, 1, 1)), v_scale=np.ones((1, 1, 1)))

@@ -1,0 +1,101 @@
+"""Coverage for remaining branches: SAS-driven online softmax, kernel-sim
+prefill paths, float-format metadata, model parameter accounting."""
+
+import numpy as np
+import pytest
+
+from repro.attention.online_softmax import OnlineSoftmaxState
+from repro.attention.reference import softmax
+from repro.fp.formats import BF16, FP16, FP32
+from repro.models.config import MODEL_PRESETS
+from repro.perf.attention_costs import METHODS
+from repro.perf.e2e import ModelGeometry
+from repro.perf.kernelsim import simulate_attention_kernel
+from repro.sas.softmax import SAS, SASConfig
+
+
+class TestSASOnlineSoftmax:
+    def test_state_with_sas_exp(self, rng):
+        """The online softmax driven by SAS matches the exact softmax to
+        within the SAS approximation error."""
+        scores = rng.standard_normal((3, 4, 40)) * 2
+        values = rng.standard_normal((3, 40, 8))
+        state = OnlineSoftmaxState.initial((3,), 4, d_v=8, exp_fn=SAS())
+        for s in range(0, 40, 16):
+            state.update(scores[..., s : s + 16], values=values[..., s : s + 16, :])
+        out, _ = state.finalize()
+        expected = softmax(scores) @ values
+        rel = np.linalg.norm(out - expected) / np.linalg.norm(expected)
+        assert rel < 5e-3
+
+    def test_sas_sparsifies_tail(self, rng):
+        """Scores 6+ below the running max contribute exactly zero mass."""
+        sas = SAS(SASConfig(threshold=-6))
+        scores = np.array([[0.0, -7.0, -10.0, -1.0]])
+        state = OnlineSoftmaxState.initial((), 1, d_v=2, exp_fn=sas)
+        v = np.eye(4, 2) * 100.0
+        state.update(scores, values=v)
+        out, _ = state.finalize()
+        p_exact = softmax(scores)
+        # Rows 1 and 2 are zeroed by SAS; output is a mix of rows 0 and 3.
+        assert out[0, 1] < p_exact[0, 1] * 100 * 0.5
+
+
+class TestKernelSimBranches:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return ModelGeometry.phi3_medium()
+
+    def test_dequant_prefill_has_pack_phase(self, model):
+        t = simulate_attention_kernel(
+            METHODS["kivi4"], model.attention_geometry(2, 2048, 2048), prefill=True
+        )
+        assert t["quantize"] > 0  # the compression kernel
+        assert t["dequant"] == 0  # no decompression during prefill
+
+    def test_gear_prefill_costs_more_than_kivi(self, model):
+        g = model.attention_geometry(2, 2048, 2048)
+        kivi = simulate_attention_kernel(METHODS["kivi4"], g, prefill=True)
+        gear = simulate_attention_kernel(METHODS["gear4"], g, prefill=True)
+        # GEAR's factor build shows in the decode pipeline instead; its
+        # prefill matches KIVI's within the shared-phase structure.
+        assert gear["total"] >= kivi["total"] * 0.99
+
+    def test_noncausal_decode_covers_all_tiles(self, model):
+        g = model.attention_geometry(1, 1, 4096, causal=True)
+        t = simulate_attention_kernel(METHODS["fp16"], g, prefill=False)
+        # 64 key tiles of 64 tokens -> load_kv dominates with 4096 tokens.
+        assert t["load_kv"] > t["qk_matmul"]
+
+    def test_custom_blocks(self, model):
+        g = model.attention_geometry(1, 256, 256)
+        small = simulate_attention_kernel(METHODS["fp16"], g, True, block_q=32, block_k=32)
+        large = simulate_attention_kernel(METHODS["fp16"], g, True, block_q=128, block_k=128)
+        # Same work, different tiling: totals within 2x of each other.
+        assert 0.5 < small["total"] / large["total"] < 2.0
+
+
+class TestFloatFormatMetadata:
+    def test_max_values(self):
+        assert FP16.max_value == pytest.approx(65504.0)
+        assert BF16.max_value > 1e38
+        assert FP32.max_value > 1e38
+
+    def test_eps_ordering(self):
+        assert FP32.eps < FP16.eps < BF16.eps
+
+
+class TestModelParamCounts:
+    def test_param_count_scales_with_layers(self):
+        a = MODEL_PRESETS["llama3ish"]
+        import dataclasses
+
+        b = dataclasses.replace(a, n_layers=8)
+        assert b.param_count() > 1.8 * a.param_count()
+
+    def test_gqa_reduces_params(self):
+        import dataclasses
+
+        mha = MODEL_PRESETS["phi3ish"]
+        gqa = dataclasses.replace(mha, n_kv_heads=2, name="gqa")
+        assert gqa.param_count() < mha.param_count()

@@ -1,0 +1,224 @@
+"""Tests for the transformer substrate: RoPE, layers, model, generation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fp16_cache import FP16Attention
+from repro.core import TurboAttention, TurboConfig
+from repro.models.config import MODEL_PRESETS, ModelConfig
+from repro.models.generation import (
+    forced_decode,
+    generate,
+    logit_divergence,
+    teacher_forced_agreement,
+    token_agreement,
+)
+from repro.models.layers import RMSNorm, SwiGLU, silu, softmax_logits
+from repro.models.outliers import OutlierProfile, channel_scales
+from repro.models.rope import apply_rope, rope_frequencies
+from repro.models.synthetic_stats import synthetic_qkv
+from repro.models.transformer import TransformerLM
+
+
+class TestRope:
+    def test_preserves_norms(self, rng):
+        x = rng.standard_normal((2, 10, 16))
+        freqs = rope_frequencies(16)
+        out = apply_rope(x, np.arange(10), freqs)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1), rtol=1e-12
+        )
+
+    def test_position_zero_identity(self, rng):
+        x = rng.standard_normal((1, 1, 16))
+        out = apply_rope(x, np.array([0]), rope_frequencies(16))
+        np.testing.assert_allclose(out, x)
+
+    def test_relative_property(self, rng):
+        """q_m . k_n depends only on m - n."""
+        freqs = rope_frequencies(16)
+        q = rng.standard_normal((1, 1, 16))
+        k = rng.standard_normal((1, 1, 16))
+        s1 = apply_rope(q, np.array([5]), freqs) @ apply_rope(k, np.array([3]), freqs).swapaxes(-1, -2)
+        s2 = apply_rope(q, np.array([12]), freqs) @ apply_rope(k, np.array([10]), freqs).swapaxes(-1, -2)
+        np.testing.assert_allclose(s1, s2, rtol=1e-9)
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            rope_frequencies(15)
+
+
+class TestLayers:
+    def test_rmsnorm_unit_scale(self, rng):
+        x = rng.standard_normal((4, 16)) * 7
+        out = RMSNorm(np.ones(16))(x)
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-3)
+
+    def test_rmsnorm_weight_applies(self, rng):
+        x = rng.standard_normal((4, 16))
+        out1 = RMSNorm(np.ones(16))(x)
+        out2 = RMSNorm(np.full(16, 2.0))(x)
+        np.testing.assert_allclose(out2, 2 * out1)
+
+    def test_silu_known_values(self):
+        assert silu(np.array([0.0]))[0] == 0.0
+        assert silu(np.array([100.0]))[0] == pytest.approx(100.0)
+        assert silu(np.array([-100.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_silu_no_overflow(self):
+        out = silu(np.array([1e5, -1e5]))
+        assert np.all(np.isfinite(out))
+
+    def test_swiglu_composition(self, rng):
+        gate = lambda x: x * 2
+        up = lambda x: x + 1
+        down = lambda x: x * 0.5
+        x = rng.standard_normal((3, 4))
+        out = SwiGLU(gate, up, down)(x)
+        np.testing.assert_allclose(out, 0.5 * (silu(2 * x) * (x + 1)))
+
+    def test_softmax_logits(self, rng):
+        p = softmax_logits(rng.standard_normal((5, 11)))
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+
+
+class TestOutliers:
+    def test_channel_scales_count(self, rng):
+        s = channel_scales(100, fraction=0.1, gain=5.0, jitter=0.0, rng=rng)
+        assert (s > 1.0).sum() == 10
+        assert np.all(s[s <= 1.0] == 1.0)
+
+    def test_zero_fraction_identity(self, rng):
+        s = channel_scales(64, fraction=0.0, gain=5.0, jitter=0.3, rng=rng)
+        np.testing.assert_array_equal(s, 1.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            OutlierProfile(key_outlier_fraction=1.5)
+        with pytest.raises(ValueError):
+            OutlierProfile(key_outlier_gain=0.5)
+        with pytest.raises(ValueError):
+            OutlierProfile(value_channel_bias=-1.0)
+
+    def test_synthetic_qkv_shapes(self):
+        cfg = MODEL_PRESETS["llama3ish"]
+        rng = np.random.default_rng(0)
+        qkv = synthetic_qkv(cfg, 64, rng)
+        assert qkv.q.shape == (cfg.n_heads, 64, cfg.head_dim)
+        assert qkv.k.shape == (cfg.n_kv_heads, 64, cfg.head_dim)
+
+    def test_phi3_values_have_heavier_outliers(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        v_llama = synthetic_qkv(MODEL_PRESETS["llama3ish"], 512, rng1).v
+        v_phi = synthetic_qkv(MODEL_PRESETS["phi3ish"], 512, rng2).v
+        kurt = lambda x: np.mean(((x - x.mean()) / x.std()) ** 4)
+        assert np.abs(v_phi).max() / np.abs(v_phi).std() > np.abs(v_llama).max() / np.abs(v_llama).std() * 0.8
+
+
+class TestModelConfig:
+    def test_presets_valid(self):
+        for cfg in MODEL_PRESETS.values():
+            assert cfg.d_model == cfg.n_heads * cfg.head_dim
+            assert cfg.param_count() > 0
+
+    def test_invalid_gqa(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="x", n_layers=1, n_heads=5, n_kv_heads=2, head_dim=8, d_ff=16)
+
+
+class TestTransformerLM:
+    def test_prefill_logits_shape(self):
+        cfg = MODEL_PRESETS["llama3ish"]
+        model = TransformerLM(cfg)
+        logits = model.prefill(np.arange(12))
+        assert logits.shape == (12, cfg.vocab_size)
+
+    def test_decode_matches_prefill_with_exact_backend(self):
+        """Cache-consistency: decoding token t yields the same logits as a
+        prefill of the extended sequence, for the exact FP16 backend."""
+        cfg = MODEL_PRESETS["phi3ish"]
+        tokens = np.arange(20) % cfg.vocab_size
+        model = TransformerLM(cfg, attention_factory=FP16Attention)
+        model.prefill(tokens[:19])
+        step = model.decode_step(int(tokens[19]))
+
+        model2 = TransformerLM(cfg, attention_factory=FP16Attention)
+        full = model2.prefill(tokens)
+        np.testing.assert_allclose(step, full[-1], atol=2e-2, rtol=1e-2)
+
+    def test_prefill_twice_raises(self):
+        model = TransformerLM(MODEL_PRESETS["llama3ish"])
+        model.prefill(np.arange(4))
+        with pytest.raises(RuntimeError):
+            model.prefill(np.arange(4))
+
+    def test_decode_before_prefill_raises(self):
+        model = TransformerLM(MODEL_PRESETS["llama3ish"])
+        with pytest.raises(RuntimeError):
+            model.decode_step(0)
+
+    def test_reset_allows_reuse(self):
+        model = TransformerLM(MODEL_PRESETS["llama3ish"])
+        a = model.prefill(np.arange(6))
+        model.reset()
+        b = model.prefill(np.arange(6))
+        np.testing.assert_array_equal(a, b)
+
+    def test_kv_storage_tracks_backend(self):
+        cfg = MODEL_PRESETS["llama3ish"]
+        tokens = np.arange(64)
+        fp16 = TransformerLM(cfg, attention_factory=FP16Attention)
+        fp16.prefill(tokens)
+        turbo = TransformerLM(
+            cfg, attention_factory=lambda: TurboAttention(TurboConfig())
+        )
+        turbo.prefill(tokens)
+        assert turbo.kv_storage_bits < fp16.kv_storage_bits / 2
+
+    def test_deterministic_weights(self):
+        cfg = MODEL_PRESETS["llama3ish"]
+        a = TransformerLM(cfg).prefill(np.arange(5))
+        b = TransformerLM(cfg).prefill(np.arange(5))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGeneration:
+    def test_generate_token_count(self):
+        model = TransformerLM(MODEL_PRESETS["llama3ish"])
+        res = generate(model, np.arange(8), 5)
+        assert res.tokens.shape == (5,)
+        assert res.logits is None
+
+    def test_generate_keep_logits(self):
+        model = TransformerLM(MODEL_PRESETS["llama3ish"])
+        res = generate(model, np.arange(8), 4, keep_logits=True)
+        assert res.logits.shape == (4, MODEL_PRESETS["llama3ish"].vocab_size)
+
+    def test_forced_decode_follows_trajectory(self):
+        cfg = MODEL_PRESETS["llama3ish"]
+        model = TransformerLM(cfg)
+        traj = generate(model, np.arange(8), 6).tokens
+        forced = forced_decode(model, np.arange(8), traj)
+        # Forcing a model's own greedy trajectory reproduces its picks.
+        np.testing.assert_array_equal(forced.tokens, traj)
+
+    def test_agreement_bounds(self):
+        assert token_agreement(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+        assert token_agreement(np.array([1, 2]), np.array([3, 4])) == 0.0
+        assert token_agreement(np.array([]), np.array([])) == 1.0
+
+    def test_self_agreement_is_one(self):
+        cfg = MODEL_PRESETS["llama3ish"]
+        ref = TransformerLM(cfg)
+        cand = TransformerLM(cfg)
+        assert teacher_forced_agreement(ref, cand, np.arange(10), 5) == 1.0
+
+    def test_logit_divergence_zero_for_identical(self, rng):
+        logits = rng.standard_normal((5, 16))
+        assert logit_divergence(logits, logits) == pytest.approx(0.0, abs=1e-12)
+
+    def test_logit_divergence_positive(self, rng):
+        a = rng.standard_normal((5, 16))
+        b = a + rng.standard_normal((5, 16))
+        assert logit_divergence(a, b) > 0.0

@@ -1,0 +1,67 @@
+"""Tests for sub-byte code packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant.packing import pack_codes, packed_nbytes, unpack_codes
+from repro.quant.progressive import pq_compress
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 8])
+    def test_roundtrip(self, rng, bits):
+        codes = rng.integers(0, 2**bits, size=(3, 41)).astype(np.uint8)
+        packed, n = pack_codes(codes, bits)
+        out = unpack_codes(packed, bits, n)
+        np.testing.assert_array_equal(out, codes)
+
+    @pytest.mark.parametrize("bits,expected", [(4, 50), (2, 25), (8, 100), (3, 39)])
+    def test_packed_nbytes(self, bits, expected):
+        assert packed_nbytes(100, bits) == expected
+
+    def test_int4_density(self, rng):
+        codes = rng.integers(0, 16, size=(128,)).astype(np.uint8)
+        packed, _ = pack_codes(codes, 4)
+        assert packed.nbytes == 64  # exactly 4 bits per code
+
+    def test_int2_density(self, rng):
+        codes = rng.integers(0, 4, size=(128,)).astype(np.uint8)
+        packed, _ = pack_codes(codes, 2)
+        assert packed.nbytes == 32
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([16], dtype=np.uint8), 4)
+
+    def test_float_raises(self):
+        with pytest.raises(TypeError):
+            pack_codes(np.array([1.0]), 4)
+
+    def test_unsupported_width(self):
+        with pytest.raises(ValueError):
+            pack_codes(np.array([0], dtype=np.uint8), 5)
+        with pytest.raises(ValueError):
+            packed_nbytes(10, 6)
+
+    @given(
+        st.sampled_from([2, 3, 4]),
+        st.integers(1, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, bits, n):
+        rng = np.random.default_rng(bits * 1000 + n)
+        codes = rng.integers(0, 2**bits, size=(2, n)).astype(np.uint8)
+        packed, length = pack_codes(codes, bits)
+        np.testing.assert_array_equal(unpack_codes(packed, bits, length), codes)
+
+
+class TestStorageClaimsRealizable:
+    def test_cache_block_payload_matches_accounting(self, rng):
+        """The ProgressiveBlock's reported code bits equal the actual
+        packed payload size (up to per-row padding)."""
+        q1 = rng.integers(-119, 120, size=(4, 64, 32)).astype(np.int8)
+        block = pq_compress(q1, bits=4, float_scale=np.ones((4, 1, 1)))
+        packed, n = pack_codes(block.codes.reshape(4, -1), 4)
+        code_bits = int(np.prod(block.codes.shape)) * 4
+        assert packed.nbytes * 8 == code_bits

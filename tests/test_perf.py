@@ -1,0 +1,191 @@
+"""Tests for the performance model: counts, GPU spec, attention costs."""
+
+import numpy as np
+import pytest
+
+from repro.perf.attention_costs import (
+    METHODS,
+    AttentionGeometry,
+    MethodSpec,
+    attention_counts,
+    attention_latency,
+)
+from repro.perf.counts import OpCounts
+from repro.perf.gpu import A100_80GB, GPUSpec
+
+
+class TestOpCounts:
+    def test_addition(self):
+        a = OpCounts(fp16_tc=1, bytes_read=10)
+        b = OpCounts(fp16_tc=2, fp32_cuda=5)
+        c = a + b
+        assert c.fp16_tc == 3 and c.fp32_cuda == 5 and c.bytes_read == 10
+
+    def test_scaling(self):
+        c = OpCounts(int8_tc=4, bytes_written=2) * 10
+        assert c.int8_tc == 40 and c.bytes_written == 20
+
+    def test_rmul(self):
+        c = 3 * OpCounts(fp16_tc=1)
+        assert c.fp16_tc == 3
+
+    def test_totals(self):
+        c = OpCounts(fp16_tc=1, int8_tc=2, fp32_cuda=3, bytes_read=4, bytes_written=5)
+        assert c.total_ops == 6 and c.total_bytes == 9
+
+
+class TestGPUSpec:
+    def test_a100_rates(self):
+        assert A100_80GB.fp16_tensor_tflops == 312.0
+        assert A100_80GB.int8_tensor_tops == 624.0
+        assert A100_80GB.hbm_capacity_gb == 80.0
+
+    def test_fp32_is_tiny_fraction_of_fp16_tc(self):
+        """The paper's ~3% claim (§2.4)."""
+        ratio = A100_80GB.fp32_cuda_tflops / A100_80GB.fp16_tensor_tflops
+        assert 0.02 < ratio < 0.10
+
+    def test_latency_roofline(self):
+        gpu = GPUSpec(
+            name="toy", fp16_tensor_tflops=1.0, int8_tensor_tops=2.0,
+            fp32_cuda_tflops=0.1, fp16_cuda_tflops=0.4, int_alu_tops=0.1,
+            hbm_bandwidth_gbps=1.0, hbm_capacity_gb=1.0,
+            mma_efficiency=1.0, int8_mma_efficiency=1.0,
+            cuda_efficiency=1.0, mem_efficiency=1.0, kernel_overhead_us=0.0,
+        )
+        compute_bound = OpCounts(fp16_tc=1e12)  # 1 s compute, no memory
+        assert gpu.latency(compute_bound) == pytest.approx(1.0)
+        memory_bound = OpCounts(bytes_read=2e9)  # 2 s memory
+        assert gpu.latency(memory_bound) == pytest.approx(2.0)
+        both = compute_bound + memory_bound
+        assert gpu.latency(both) == pytest.approx(2.0)  # max, not sum
+
+    def test_overhead_added(self):
+        c = OpCounts(kernel_launches=2)
+        assert A100_80GB.latency(c) == pytest.approx(2 * 5e-6)
+
+
+class TestAttentionGeometry:
+    def test_causal_prefill_half_scores(self):
+        g = AttentionGeometry(1, 8, 8, 64, 1024, 1024, causal=True)
+        full = 8 * 1024 * 1024
+        assert g.score_elements == pytest.approx(full * (1024 + 1) / 2048)
+
+    def test_decode_sees_everything(self):
+        g = AttentionGeometry(2, 8, 8, 64, 1, 4096, causal=True)
+        assert g.score_elements == 2 * 8 * 4096
+
+    def test_kv_elements_count_both(self):
+        g = AttentionGeometry(1, 8, 2, 64, 1, 100)
+        assert g.kv_elements == 2 * 2 * 100 * 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttentionGeometry(1, 6, 4, 64, 1, 1)
+        with pytest.raises(ValueError):
+            AttentionGeometry(0, 4, 4, 64, 1, 1)
+
+
+class TestMethodCosts:
+    @pytest.fixture
+    def geom_prefill(self):
+        return AttentionGeometry(4, 40, 10, 128, 8192, 8192)
+
+    @pytest.fixture
+    def geom_decode(self):
+        return AttentionGeometry(4, 40, 10, 128, 1, 8192)
+
+    def test_turbo_prefill_faster_than_fp16(self, geom_prefill):
+        base = attention_latency(METHODS["fp16"], geom_prefill, True)
+        turbo = attention_latency(METHODS["turbo4"], geom_prefill, True)
+        assert 1.2 < base / turbo < 2.0  # paper: up to 1.8x
+
+    def test_turbo_decode_faster_than_fp16(self, geom_decode):
+        base = attention_latency(METHODS["fp16"], geom_decode, False)
+        turbo = attention_latency(METHODS["turbo4"], geom_decode, False)
+        assert 1.2 < base / turbo < 2.5  # paper: up to 1.7x
+
+    def test_kivi_decode_slower_than_fp16(self, geom_decode):
+        """Figure 6: the dequantization pipeline costs more than it saves."""
+        base = attention_latency(METHODS["fp16"], geom_decode, False)
+        kivi = attention_latency(METHODS["kivi4"], geom_decode, False)
+        assert kivi > base
+
+    def test_gear_decode_slower_than_kivi(self, geom_decode):
+        kivi = attention_latency(METHODS["kivi4"], geom_decode, False)
+        gear = attention_latency(METHODS["gear4"], geom_decode, False)
+        assert gear > kivi  # low-rank reconstruction adds work
+
+    def test_kivi_prefill_matches_fp16_plus_pack(self, geom_prefill):
+        base = attention_latency(METHODS["fp16"], geom_prefill, True)
+        kivi = attention_latency(METHODS["kivi4"], geom_prefill, True)
+        assert base * 0.95 < kivi < base * 1.3
+
+    def test_latency_monotone_in_context(self):
+        for name in ("fp16", "turbo4", "kivi4"):
+            lats = [
+                attention_latency(
+                    METHODS[name], AttentionGeometry(4, 40, 10, 128, 1, ctx), False
+                )
+                for ctx in (1024, 4096, 16384)
+            ]
+            assert lats[0] < lats[1] < lats[2]
+
+    def test_latency_monotone_in_batch(self):
+        lats = [
+            attention_latency(
+                METHODS["fp16"], AttentionGeometry(b, 40, 10, 128, 1, 4096), False
+            )
+            for b in (1, 8, 64)
+        ]
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_fewer_bits_fewer_decode_bytes(self):
+        g = AttentionGeometry(4, 40, 10, 128, 1, 8192)
+        c4 = attention_counts(METHODS["turbo4"], g, False)
+        c2 = attention_counts(METHODS["turbo2"], g, False)
+        assert c2.bytes_read < c4.bytes_read
+
+    def test_turbo_uses_int8_not_fp16_matmuls(self):
+        g = AttentionGeometry(1, 8, 8, 64, 256, 256)
+        c = attention_counts(METHODS["turbo4"], g, True)
+        base = attention_counts(METHODS["fp16"], g, True)
+        assert c.int8_tc == base.fp16_tc  # same MatMul volume, different unit
+        assert c.fp16_tc < base.fp16_tc  # only the SAS polynomial
+
+    def test_unknown_kind_raises(self):
+        g = AttentionGeometry(1, 1, 1, 8, 1, 8)
+        with pytest.raises(ValueError):
+            attention_counts(MethodSpec(name="x", kind="bogus"), g, True)
+
+    def test_with_bits(self):
+        spec = METHODS["turbo4"].with_bits(2.5)
+        assert spec.kv_bits == 2.5 and spec.kind == "turbo"
+
+
+class TestH100:
+    def test_spec_present(self):
+        from repro.perf.gpu import H100_80GB
+
+        assert H100_80GB.fp16_tensor_tflops > 2 * A100_80GB.fp16_tensor_tflops
+        assert H100_80GB.hbm_bandwidth_gbps > A100_80GB.hbm_bandwidth_gbps
+
+    def test_turbo_advantage_persists_on_hopper(self):
+        """The INT8/bandwidth arguments are device-portable: turbo still
+        wins prefill and decode on an H100 spec."""
+        from repro.perf.gpu import H100_80GB
+
+        prefill = AttentionGeometry(4, 40, 10, 128, 8192, 8192)
+        decode = AttentionGeometry(4, 40, 10, 128, 1, 8192)
+        for geom, is_prefill in ((prefill, True), (decode, False)):
+            base = attention_latency(METHODS["fp16"], geom, is_prefill, gpu=H100_80GB)
+            turbo = attention_latency(METHODS["turbo4"], geom, is_prefill, gpu=H100_80GB)
+            assert base / turbo > 1.15
+
+    def test_h100_faster_than_a100(self):
+        geom = AttentionGeometry(4, 40, 10, 128, 8192, 8192)
+        from repro.perf.gpu import H100_80GB
+
+        a = attention_latency(METHODS["fp16"], geom, True, gpu=A100_80GB)
+        h = attention_latency(METHODS["fp16"], geom, True, gpu=H100_80GB)
+        assert h < a

@@ -1,0 +1,72 @@
+"""Tests for the QuantizedTensor container and storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.quant.qtensor import Granularity, QuantizedTensor
+
+
+class TestFromFloat:
+    def test_symmetric_roundtrip(self, rng):
+        x = rng.standard_normal((8, 32))
+        qt = QuantizedTensor.from_float(x, bits=8, symmetric=True)
+        assert qt.symmetric and qt.zero_point is None
+        assert np.max(np.abs(qt.dequantize() - x)) <= np.max(qt.scale) / 2 + 1e-12
+
+    def test_asymmetric_roundtrip(self, rng):
+        x = rng.standard_normal((8, 32)) + 4.0
+        qt = QuantizedTensor.from_float(x, bits=4, symmetric=False, axis=-1)
+        assert not qt.symmetric and qt.zero_point is not None
+        assert np.max(np.abs(qt.dequantize() - x)) <= np.max(qt.scale) / 2 + 1e-12
+
+    def test_shape_passthrough(self, rng):
+        x = rng.standard_normal((3, 5, 7))
+        qt = QuantizedTensor.from_float(x, bits=4, symmetric=False, axis=-1)
+        assert qt.shape == (3, 5, 7)
+
+
+class TestStorage:
+    def test_symmetric_per_tensor(self, rng):
+        x = rng.standard_normal((16, 16))
+        qt = QuantizedTensor.from_float(x, bits=8, symmetric=True)
+        assert qt.storage_bits == 256 * 8 + 16  # codes + one fp16 scale
+
+    def test_asymmetric_per_channel(self, rng):
+        x = rng.standard_normal((16, 16))
+        qt = QuantizedTensor.from_float(x, bits=4, symmetric=False, axis=-2)
+        # 4-bit codes + fp16 scale and zero per channel.
+        assert qt.storage_bits == 256 * 4 + 16 * 16 * 2
+
+    def test_effective_bits_includes_metadata(self, rng):
+        x = rng.standard_normal((64, 64))
+        qt = QuantizedTensor.from_float(x, bits=4, symmetric=False, axis=-2)
+        # 64 fp16 scales + 64 fp16 zeros over 4096 elements = +0.5 bits.
+        assert qt.effective_bits_per_value() == pytest.approx(4.5)
+
+    def test_compression_ratio(self, rng):
+        x = rng.standard_normal((64, 64))
+        qt = QuantizedTensor.from_float(x, bits=4, symmetric=False, axis=-2)
+        assert 3.0 < qt.compression_ratio(16) < 4.0
+
+    def test_int8_scale_bits_option(self, rng):
+        x = rng.standard_normal((16, 16))
+        qt = QuantizedTensor.from_float(x, bits=4, symmetric=False, axis=-2)
+        qt8 = QuantizedTensor(
+            codes=qt.codes, scale=qt.scale, zero_point=qt.zero_point,
+            bits=4, symmetric=False, scale_bits=8, zero_bits=8,
+        )
+        assert qt8.storage_bits < qt.storage_bits
+
+    def test_granularity_metadata(self, rng):
+        qt = QuantizedTensor.from_float(
+            rng.standard_normal((4, 4)), bits=8, symmetric=True,
+            granularity=Granularity.PER_BLOCK,
+        )
+        assert qt.granularity is Granularity.PER_BLOCK
+
+    def test_empty_tensor(self):
+        qt = QuantizedTensor(
+            codes=np.zeros((0,), dtype=np.int8), scale=np.ones(()), bits=8, symmetric=True
+        )
+        assert qt.effective_bits_per_value() == 0.0
+        assert qt.compression_ratio() == 1.0

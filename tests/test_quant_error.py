@@ -1,0 +1,45 @@
+"""Tests for the error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.quant.error import (
+    max_abs_error,
+    mse,
+    quantization_error_report,
+    relative_frobenius_error,
+)
+
+
+class TestMetrics:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal((8, 8))
+        assert mse(x, x) == 0.0
+        assert max_abs_error(x, x) == 0.0
+        assert relative_frobenius_error(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        x = np.zeros(4)
+        y = np.array([1.0, -1.0, 1.0, -1.0])
+        assert mse(x, y) == 1.0
+
+    def test_max_abs_known_value(self):
+        assert max_abs_error(np.zeros(3), np.array([0.5, -2.0, 1.0])) == 2.0
+
+    def test_relative_frobenius_scale_invariant(self, rng):
+        x = rng.standard_normal((8, 8))
+        y = x + rng.standard_normal((8, 8)) * 0.1
+        assert relative_frobenius_error(x, y) == pytest.approx(
+            relative_frobenius_error(10 * x, 10 * y)
+        )
+
+    def test_relative_frobenius_zero_reference(self):
+        assert relative_frobenius_error(np.zeros(4), np.zeros(4)) == 0.0
+
+    def test_report_bundles_all(self, rng):
+        x = rng.standard_normal(16)
+        y = x + 0.01
+        r = quantization_error_report(x, y)
+        assert r.mse == pytest.approx(1e-4)
+        assert r.max_abs == pytest.approx(0.01)
+        assert set(r.as_dict()) == {"mse", "max_abs", "rel_frobenius"}

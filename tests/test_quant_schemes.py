@@ -1,0 +1,175 @@
+"""Tests for symmetric/asymmetric uniform quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.schemes import (
+    dequantize_asymmetric,
+    dequantize_symmetric,
+    grouped_reshape,
+    grouped_unreshape,
+    int_range,
+    quantize_asymmetric,
+    quantize_symmetric,
+    symmetric_scale,
+)
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=3, min_side=2, max_side=16),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+)
+
+
+class TestIntRange:
+    @pytest.mark.parametrize(
+        "bits,symmetric,expected",
+        [
+            (8, True, (-127, 127)),
+            (8, False, (0, 255)),
+            (4, True, (-7, 7)),
+            (4, False, (0, 15)),
+            (2, True, (-1, 1)),
+            (2, False, (0, 3)),
+        ],
+    )
+    def test_ranges(self, bits, symmetric, expected):
+        assert int_range(bits, symmetric) == expected
+
+    @pytest.mark.parametrize("bits", [0, 1, 17])
+    def test_invalid_bits(self, bits):
+        with pytest.raises(ValueError):
+            int_range(bits, True)
+
+
+class TestSymmetric:
+    def test_roundtrip_error_bound(self, rng):
+        x = rng.standard_normal((8, 64))
+        codes, scale = quantize_symmetric(x, bits=8)
+        x_hat = dequantize_symmetric(codes, scale)
+        assert np.max(np.abs(x - x_hat)) <= scale / 2 + 1e-12
+
+    def test_codes_in_range(self, rng):
+        x = rng.standard_normal((8, 64)) * 100
+        codes, _ = quantize_symmetric(x, bits=8)
+        assert codes.min() >= -127 and codes.max() <= 127
+        assert codes.dtype == np.int8
+
+    def test_paper_max_code_119(self, rng):
+        x = rng.standard_normal(256)
+        codes, scale = quantize_symmetric(x, bits=8, max_code=119)
+        assert np.abs(codes).max() <= 119
+        # The extremal element maps exactly to +-119.
+        assert np.abs(codes).max() == 119
+
+    def test_per_axis_scales(self, rng):
+        x = rng.standard_normal((4, 32)) * np.array([[1.0], [10.0], [100.0], [0.1]])
+        codes, scale = quantize_symmetric(x, bits=8, axis=-1)
+        assert scale.shape == (4, 1)
+        x_hat = dequantize_symmetric(codes, scale)
+        # Per-row error follows the per-row scale, not the global max.
+        for i in range(4):
+            assert np.max(np.abs(x[i] - x_hat[i])) <= scale[i, 0] / 2 + 1e-12
+
+    def test_reused_scale_clamps(self):
+        scale = np.array(1.0 / 119.0)
+        x = np.array([10.0, -10.0, 0.5])  # 10/scale = 1190 -> clamp
+        codes, _ = quantize_symmetric(x, bits=8, scale=scale, max_code=119)
+        assert codes[0] == 119 and codes[1] == -119
+
+    def test_zero_tensor(self):
+        codes, scale = quantize_symmetric(np.zeros((3, 3)), bits=8)
+        assert np.all(codes == 0)
+        assert np.all(np.isfinite(scale))
+
+    @given(finite_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_bound_property(self, x):
+        codes, scale = quantize_symmetric(x, bits=8)
+        x_hat = dequantize_symmetric(codes, scale)
+        assert np.max(np.abs(x - x_hat)) <= np.max(scale) / 2 + 1e-9
+
+    @given(finite_arrays, st.sampled_from([2, 4, 8]))
+    @settings(max_examples=50, deadline=None)
+    def test_error_monotone_in_bits(self, x, bits):
+        errs = {}
+        for b in (2, 4, 8):
+            codes, scale = quantize_symmetric(x, bits=b)
+            errs[b] = np.abs(x - dequantize_symmetric(codes, scale)).max()
+        assert errs[8] <= errs[4] + 1e-9
+        assert errs[4] <= errs[2] + 1e-9
+
+
+class TestAsymmetric:
+    def test_roundtrip_error_bound(self, rng):
+        x = rng.standard_normal((8, 64)) + 3.0  # shifted: asym shines
+        codes, scale, zero = quantize_asymmetric(x, bits=4)
+        x_hat = dequantize_asymmetric(codes, scale, zero)
+        assert np.max(np.abs(x - x_hat)) <= np.max(scale) / 2 + 1e-12
+
+    def test_codes_unsigned(self, rng):
+        x = rng.standard_normal((8, 64))
+        codes, _, _ = quantize_asymmetric(x, bits=4)
+        assert codes.dtype == np.uint8
+        assert codes.min() >= 0 and codes.max() <= 15
+
+    def test_zero_point_is_min(self, rng):
+        x = rng.standard_normal((4, 16))
+        _, _, zero = quantize_asymmetric(x, bits=4, axis=-1)
+        np.testing.assert_allclose(zero[..., 0], x.min(axis=-1))
+
+    def test_asym_beats_sym_on_shifted_data(self, rng):
+        x = rng.standard_normal(512) * 0.1 + 5.0
+        ac, as_, az = quantize_asymmetric(x, bits=4)
+        asym_err = np.abs(x - dequantize_asymmetric(ac, as_, az)).max()
+        sc, ss = quantize_symmetric(x, bits=4)
+        sym_err = np.abs(x - dequantize_symmetric(sc, ss)).max()
+        assert asym_err < sym_err
+
+    def test_constant_tensor(self):
+        x = np.full((4, 4), 2.5)
+        codes, scale, zero = quantize_asymmetric(x, bits=2)
+        x_hat = dequantize_asymmetric(codes, scale, zero)
+        np.testing.assert_allclose(x_hat, x, atol=1e-9)
+
+    @given(finite_arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_range_property(self, x):
+        codes, scale, zero = quantize_asymmetric(x, bits=2, axis=-1)
+        assert codes.max() <= 3
+        x_hat = dequantize_asymmetric(codes, scale, zero)
+        # Reconstruction stays within the observed min/max per slice.
+        assert np.all(x_hat >= x.min(axis=-1, keepdims=True) - 1e-9)
+        assert np.all(x_hat <= x.max(axis=-1, keepdims=True) + np.max(scale) + 1e-9)
+
+
+class TestGroupedReshape:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((4, 64, 8))
+        g = grouped_reshape(x, 16, axis=1)
+        assert g.shape == (4, 4, 16, 8)
+        back = grouped_unreshape(g, axis=1)
+        np.testing.assert_array_equal(back, x)
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError):
+            grouped_reshape(rng.standard_normal((4, 63)), 16, axis=1)
+
+    def test_negative_axis(self, rng):
+        x = rng.standard_normal((4, 64))
+        g = grouped_reshape(x, 8, axis=-1)
+        assert g.shape == (4, 8, 8)
+
+
+class TestSymmetricScale:
+    def test_default_denominator(self, rng):
+        x = rng.standard_normal(64)
+        s = symmetric_scale(x, bits=8)
+        assert s == pytest.approx(np.abs(x).max() / 127)
+
+    def test_axis_shapes(self, rng):
+        x = rng.standard_normal((3, 5, 7))
+        assert symmetric_scale(x, axis=(-2, -1)).shape == (3, 1, 1)
+        assert symmetric_scale(x, axis=-1).shape == (3, 5, 1)

@@ -1,0 +1,51 @@
+"""Tests for the roofline classifier."""
+
+import pytest
+
+from repro.perf.attention_costs import METHODS, AttentionGeometry, attention_latency
+from repro.perf.roofline import roofline
+
+
+@pytest.fixture
+def decode_geom():
+    return AttentionGeometry(4, 40, 10, 128, 1, 8192)
+
+
+@pytest.fixture
+def prefill_geom():
+    return AttentionGeometry(4, 40, 10, 128, 8192, 8192)
+
+
+class TestClassification:
+    def test_fp16_decode_memory_bound(self, decode_geom):
+        p = roofline(METHODS["fp16"], decode_geom, prefill=False)
+        assert p.bound == "memory"
+        assert p.arithmetic_intensity < 10  # classic KV-streaming GEMV
+
+    def test_fp16_prefill_compute_bound(self, prefill_geom):
+        p = roofline(METHODS["fp16"], prefill_geom, prefill=True)
+        assert p.bound in ("tensor", "cuda")
+        assert p.arithmetic_intensity > 100
+
+    def test_latency_consistent_with_model(self, prefill_geom):
+        for name in ("fp16", "turbo4", "kivi4"):
+            p = roofline(METHODS[name], prefill_geom, prefill=True)
+            lat = attention_latency(METHODS[name], prefill_geom, prefill=True)
+            # Roofline latency = model latency minus launch overheads.
+            assert p.latency <= lat
+            assert p.latency > 0.8 * lat
+
+    def test_turbo_raises_decode_intensity(self, decode_geom):
+        """Compressing the cache raises ops/byte: fewer bytes, same math."""
+        base = roofline(METHODS["fp16"], decode_geom, prefill=False)
+        turbo = roofline(METHODS["turbo_mixed"], decode_geom, prefill=False)
+        assert turbo.arithmetic_intensity > base.arithmetic_intensity
+
+    def test_headroom_positive(self, decode_geom, prefill_geom):
+        for geom, prefill in ((decode_geom, False), (prefill_geom, True)):
+            p = roofline(METHODS["fp16"], geom, prefill)
+            assert p.headroom() >= 1.0
+            assert 0 < p.utilization <= 1.0 + 1e-9
+
+    def test_phase_labels(self, decode_geom):
+        assert roofline(METHODS["fp16"], decode_geom, False).phase == "decode"

@@ -1,0 +1,33 @@
+"""Tests for the run_all harness driver and registry completeness."""
+
+import pytest
+
+from repro.harness.run_all import RUNNERS, main
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "fig1", "table1", "table2", "fig4", "fig5", "fig6",
+            "fig7a", "fig7b", "table3", "table4", "table5", "fig10",
+        }
+        assert expected <= set(RUNNERS)
+
+    def test_extensions_registered(self):
+        assert {"ablations", "serving", "needle"} <= set(RUNNERS)
+
+    def test_runners_expose_interface(self):
+        for mod in RUNNERS.values():
+            assert callable(mod.run)
+            assert callable(mod.main)
+
+
+class TestDriver:
+    def test_subset_quick(self, capsys):
+        assert main(["--quick", "--only", "fig5", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table1" in out and "POLY" in out
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])

@@ -1,0 +1,121 @@
+"""Tests for the synthetic recall tasks and the evaluation harness."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.baselines import FP16Attention, KIVIAttention, KIVIConfig
+from repro.core import TurboAttention, TurboConfig
+from repro.models.config import MODEL_PRESETS
+from repro.tasks import TASK_PRESETS, task_for_model
+from repro.tasks.recall import RecallTask, build_streams, evaluate_backend
+
+QUICK = RecallTask(
+    name="quick", prefill_len=256, n_pairs=48, n_hops=32,
+    beta=5.0, gamma=4.0, value_coherence=0.9, seed=11,
+)
+
+
+class TestTaskConfig:
+    def test_presets_match_paper_prompt_lengths(self):
+        assert TASK_PRESETS["gsm8k_like"].prefill_len == 900
+        assert TASK_PRESETS["aqua_like"].prefill_len == 1304
+        assert TASK_PRESETS["bbh_like"].prefill_len == 1021
+        for t in TASK_PRESETS.values():
+            assert t.n_hops == 256  # paper generates 256 tokens
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecallTask(name="x", prefill_len=8, n_pairs=9)
+        with pytest.raises(ValueError):
+            RecallTask(name="x", beta=-1.0)
+        with pytest.raises(ValueError):
+            RecallTask(name="x", value_coherence=1.0)
+
+    def test_task_for_model(self):
+        task, model = task_for_model("gsm8k_like", "phi3ish")
+        assert task.name == "gsm8k_like" and model.name == "phi3ish"
+        with pytest.raises(KeyError):
+            task_for_model("nope", "phi3ish")
+        with pytest.raises(KeyError):
+            task_for_model("gsm8k_like", "nope")
+
+
+class TestBuildStreams:
+    def test_shapes(self):
+        model = MODEL_PRESETS["llama3ish"]
+        rng = np.random.default_rng(0)
+        k, v, queries, values, gains_v = build_streams(QUICK, model, rng)
+        assert k.shape == (model.n_kv_heads, 256, model.head_dim)
+        assert queries.shape == (model.n_kv_heads, 48, model.head_dim)
+        assert values.shape == (48, model.head_dim)
+        assert gains_v.shape == (model.n_kv_heads, model.head_dim)
+
+    def test_score_geometry(self):
+        """Gain-decoupling: a query's score against its own stored key is
+        beta^2 + gamma^2, independent of the head's channel gains."""
+        model = MODEL_PRESETS["phi3ish"]
+        rng = np.random.default_rng(0)
+        k, _v, queries, _vals, _gv = build_streams(QUICK, model, rng)
+        # Locate stored pair keys by matching against queries.
+        for h in range(model.n_kv_heads):
+            scores = queries[h] @ k[h].T  # (m, n)
+            best = scores.max(axis=1)
+            np.testing.assert_allclose(
+                best, QUICK.beta**2 + QUICK.gamma**2, rtol=1e-6
+            )
+
+    def test_distractors_suppressed(self):
+        model = MODEL_PRESETS["llama3ish"]
+        rng = np.random.default_rng(0)
+        k, _v, queries, _vals, _gv = build_streams(QUICK, model, rng)
+        scores = queries[0] @ k[0].T
+        # Median score (distractor-dominated) is far below the match.
+        assert np.median(scores) < -QUICK.gamma**2 / 2
+
+    def test_value_coherence_controls_similarity(self):
+        model = MODEL_PRESETS["llama3ish"]
+        low = replace(QUICK, value_coherence=0.0)
+        high = replace(QUICK, value_coherence=0.9)
+        _, _, _, v_low, _ = build_streams(low, model, np.random.default_rng(1))
+        _, _, _, v_high, _ = build_streams(high, model, np.random.default_rng(1))
+        mean_cos = lambda v: np.mean((v @ v.T)[np.triu_indices(len(v), 1)])
+        assert mean_cos(v_high) > mean_cos(v_low) + 0.5
+
+
+class TestEvaluateBackend:
+    def test_fp16_solves_task(self):
+        res = evaluate_backend(FP16Attention, QUICK, MODEL_PRESETS["llama3ish"])
+        assert res.accuracy == 1.0
+        assert res.effective_bits == 16.0
+
+    def test_turbo4_near_lossless(self):
+        res = evaluate_backend(
+            lambda: TurboAttention(TurboConfig()), QUICK, MODEL_PRESETS["phi3ish"]
+        )
+        assert res.accuracy >= 0.97
+        assert res.effective_bits < 6.0
+
+    def test_turbo_mixed_beats_kivi2_on_phi3(self):
+        """The Table 2 headline at matched-or-better compression."""
+        model = MODEL_PRESETS["phi3ish"]
+        hard = replace(QUICK, value_coherence=0.92)
+        turbo = evaluate_backend(
+            lambda: TurboAttention(TurboConfig(mixed_precision=True)), hard, model
+        )
+        kivi = evaluate_backend(
+            lambda: KIVIAttention(KIVIConfig(bits=2)), hard, model
+        )
+        assert turbo.accuracy > kivi.accuracy
+
+    def test_deterministic(self):
+        model = MODEL_PRESETS["llama3ish"]
+        a = evaluate_backend(FP16Attention, QUICK, model)
+        b = evaluate_backend(FP16Attention, QUICK, model)
+        assert a.accuracy == b.accuracy
+
+    def test_accuracy_in_unit_interval(self):
+        res = evaluate_backend(
+            lambda: TurboAttention(TurboConfig(kv_bits=2)), QUICK, MODEL_PRESETS["qwen2ish"]
+        )
+        assert 0.0 <= res.accuracy <= 1.0

@@ -1,0 +1,67 @@
+"""Tests for vanilla (materializing) quantized attention — the §2.2
+granularity-vs-memory trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.attention.reference import reference_attention
+from repro.attention.vanilla_quantized import (
+    intermediate_bytes,
+    vanilla_quantized_attention,
+)
+from repro.models.config import MODEL_PRESETS
+from repro.models.synthetic_stats import synthetic_qkv
+
+
+@pytest.fixture
+def shaped_qkv():
+    cfg = MODEL_PRESETS["phi3ish"]
+    rng = np.random.default_rng(3)
+    s = synthetic_qkv(cfg, 96, rng)
+    return s.q[:4], s.k[:4], s.v[:4]
+
+
+class TestAccuracy:
+    def test_close_to_reference(self, shaped_qkv):
+        q, k, v = shaped_qkv
+        ref = reference_attention(q, k, v)
+        res = vanilla_quantized_attention(q, k, v, per_token=True)
+        rel = np.linalg.norm(res.output - ref) / np.linalg.norm(ref)
+        assert rel < 0.06
+
+    def test_per_token_tighter_than_per_head(self, shaped_qkv):
+        """On channel-outlier data, finer scales reduce error — the upside
+        the paper concedes before rejecting the layout for tiling reasons."""
+        q, k, v = shaped_qkv
+        ref = reference_attention(q, k, v)
+        fine = vanilla_quantized_attention(q, k, v, per_token=True)
+        coarse = vanilla_quantized_attention(q, k, v, per_token=False)
+        err = lambda r: np.linalg.norm(r.output - ref)
+        assert err(fine) < err(coarse)
+
+    def test_bits_monotone(self, shaped_qkv):
+        q, k, v = shaped_qkv
+        ref = reference_attention(q, k, v)
+        errs = {
+            b: np.linalg.norm(
+                vanilla_quantized_attention(q, k, v, bits=b).output - ref
+            )
+            for b in (4, 8)
+        }
+        assert errs[8] < errs[4]
+
+
+class TestMemory:
+    def test_quadratic_intermediates(self):
+        assert intermediate_bytes(2048, 2048, 8) == 4 * intermediate_bytes(1024, 1024, 8)
+
+    def test_result_reports_footprint(self, shaped_qkv):
+        q, k, v = shaped_qkv
+        res = vanilla_quantized_attention(q, k, v)
+        assert res.intermediate_bytes == intermediate_bytes(96, 96, 4)
+
+    def test_exceeds_hbm_at_paper_scale(self):
+        """At Figure 6's 32k/batch-4 point the materialized intermediates
+        alone exceed the A100's 80 GB — why the paper requires a
+        FlashAttention-compatible (per-tile) quantization design."""
+        assert intermediate_bytes(32768, 32768, 40, batch=4) > 80e9

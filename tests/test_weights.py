@@ -1,0 +1,89 @@
+"""Tests for the weight-quantized linear layers (Table 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.weights import DenseLinear, LLMInt8Linear, QServeW4A8Linear, make_linear
+
+
+@pytest.fixture
+def weight(rng):
+    return rng.standard_normal((64, 32)) / 8.0
+
+
+@pytest.fixture
+def x(rng):
+    return rng.standard_normal((10, 64))
+
+
+class TestDenseLinear:
+    def test_matches_fp16_matmul(self, weight, x):
+        lin = DenseLinear(weight)
+        out = lin(x)
+        rel = np.linalg.norm(out - x @ weight) / np.linalg.norm(x @ weight)
+        assert rel < 5e-3
+
+    def test_storage(self, weight):
+        assert DenseLinear(weight).storage_bits == 64 * 32 * 16
+
+
+class TestLLMInt8Linear:
+    def test_close_to_dense(self, weight, x):
+        dense = DenseLinear(weight)(x)
+        out = LLMInt8Linear(weight)(x)
+        rel = np.linalg.norm(out - dense) / np.linalg.norm(dense)
+        assert rel < 0.02
+
+    def test_outlier_path_exact(self, weight, rng):
+        # A column far past the threshold routes through FP16 exactly.
+        x = rng.standard_normal((4, 64))
+        x[:, 3] = 100.0
+        out = LLMInt8Linear(weight, outlier_threshold=6.0)(x)
+        dense = DenseLinear(weight)(x)
+        rel = np.linalg.norm(out - dense) / np.linalg.norm(dense)
+        assert rel < 0.02
+
+    def test_all_outliers_degenerates_to_fp16(self, weight, rng):
+        x = rng.standard_normal((4, 64)) * 100
+        out = LLMInt8Linear(weight, outlier_threshold=6.0)(x)
+        dense = DenseLinear(weight)(x)
+        np.testing.assert_allclose(out, dense, rtol=1e-9)
+
+    def test_storage_smaller_than_dense(self, weight):
+        assert LLMInt8Linear(weight).storage_bits < DenseLinear(weight).storage_bits
+
+    def test_batched_input(self, weight, rng):
+        x = rng.standard_normal((3, 5, 64))
+        out = LLMInt8Linear(weight)(x)
+        assert out.shape == (3, 5, 32)
+
+
+class TestQServeW4A8Linear:
+    def test_close_to_dense(self, weight, x):
+        dense = DenseLinear(weight)(x)
+        out = QServeW4A8Linear(weight)(x)
+        rel = np.linalg.norm(out - dense) / np.linalg.norm(dense)
+        assert rel < 0.12  # 4-bit weights + 8-bit activations
+
+    def test_storage_near_4bit(self, weight):
+        lin = QServeW4A8Linear(weight)
+        bits_per_weight = lin.storage_bits / (64 * 32)
+        assert 4.0 < bits_per_weight < 6.5
+
+    def test_group_padding(self, rng):
+        # in_features not divisible by group_size exercises the pad path.
+        w = rng.standard_normal((70, 16)) / 8.0
+        lin = QServeW4A8Linear(w, group_size=32)
+        out = lin(rng.standard_normal((3, 70)))
+        assert out.shape == (3, 16)
+
+
+class TestMakeLinear:
+    def test_dispatch(self, weight):
+        assert isinstance(make_linear(weight, "fp16"), DenseLinear)
+        assert isinstance(make_linear(weight, "llm_int8"), LLMInt8Linear)
+        assert isinstance(make_linear(weight, "qserve_w4a8"), QServeW4A8Linear)
+
+    def test_unknown_raises(self, weight):
+        with pytest.raises(ValueError):
+            make_linear(weight, "awq")
