@@ -1,0 +1,40 @@
+"""Cluster-serving extension benchmark (methods x router policies)."""
+
+from repro.harness import cluster
+
+
+def test_cluster_full(benchmark, once):
+    cells = once(benchmark, cluster.run, False)
+    by = {(c.workload, c.method, c.policy): c for c in cells}
+    workloads = sorted({c.workload for c in cells})
+
+    # Conservation: every request finishes in every cell.
+    assert all(c.metrics.completed == c.metrics.total for c in cells)
+    assert len(cells) == (
+        len(workloads) * len(cluster.CLUSTER_METHODS) * len(cluster.CLUSTER_POLICIES)
+    )
+
+    # Routing: KV-pressure-aware dispatch is at least as good as blind
+    # round-robin on tail TTFT for some workload x method cell (the bursty
+    # memory-pressure regime is where it pays).
+    assert any(
+        by[(w, m, "least_kv")].metrics.p99_ttft
+        <= by[(w, m, "round_robin")].metrics.p99_ttft
+        for w in workloads
+        for m in cluster.CLUSTER_METHODS
+    )
+
+    # Capacity: at an equal per-replica HBM budget, the compressed cache
+    # admits several times the FP16 concurrency.
+    fp16 = by[("bursty", "fp16", "round_robin")].peak_concurrency
+    turbo = by[("bursty", "turbo_mixed", "round_robin")].peak_concurrency
+    assert turbo > 2 * fp16
+
+    # Fleet goodput under pressure follows the compression ordering.
+    assert (
+        by[("bursty", "turbo_mixed", "least_kv")].metrics.goodput_rps
+        > by[("bursty", "fp16", "least_kv")].metrics.goodput_rps
+    )
+
+    print()
+    cluster.main(quick=False)

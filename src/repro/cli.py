@@ -1,9 +1,10 @@
 """Command-line interface.
 
     python -m repro info
-    python -m repro eval  --model phi3ish --task gsm8k_like --method turbo_mixed
-    python -m repro perf  --batch 4 --context 8192 --phase decode
-    python -m repro serve --rate 6 --requests 60 --method turbo_mixed
+    python -m repro eval    --model phi3ish --task gsm8k_like --method turbo_mixed
+    python -m repro perf    --batch 4 --context 8192 --phase decode
+    python -m repro serve   --rate 6 --requests 60 --method turbo_mixed
+    python -m repro cluster --replicas 4 --policy least_kv --method turbo_mixed
     python -m repro harness table2 fig6 --quick
 
 Everything the CLI prints is produced by the same library calls the tests
@@ -19,6 +20,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 import repro
+from repro.cluster import (
+    SLO,
+    AutoscalerConfig,
+    ClusterConfig,
+    ClusterSimulator,
+    ROUTER_POLICIES,
+)
 from repro.harness.common import accuracy_method_registry, render_table
 from repro.models.config import MODEL_PRESETS
 from repro.perf.attention_costs import METHODS, attention_latency
@@ -103,6 +111,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    model = ModelGeometry.phi3_medium()
+    workload = poisson_workload(
+        args.requests,
+        arrival_rate=args.rate,
+        rng=np.random.default_rng(args.seed),
+        n_sessions=args.sessions,
+    )
+    slo = SLO(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+    autoscaler = None
+    if args.autoscale:
+        autoscaler = AutoscalerConfig(
+            min_replicas=args.replicas, max_replicas=args.max_replicas
+        )
+    policies = list(ROUTER_POLICIES) if args.policy == "all" else [args.policy]
+    rows = []
+    for policy in policies:
+        config = ClusterConfig(
+            n_replicas=args.replicas,
+            tp=args.tp,
+            policy=policy,
+            slo=slo,
+            autoscaler=autoscaler,
+        )
+        m = ClusterSimulator(model, METHODS[args.method], config).run(workload)
+        rows.append([
+            policy,
+            m.completed,
+            f"{m.goodput_rps:.2f}",
+            f"{m.slo_attainment * 100:.0f}%",
+            f"{m.p50_ttft:.2f}", f"{m.p95_ttft:.2f}", f"{m.p99_ttft:.2f}",
+            f"{m.p50_tpot * 1e3:.0f}", f"{m.p95_tpot * 1e3:.0f}",
+            f"{m.p99_tpot * 1e3:.0f}",
+            f"{m.final_replicas}/{m.peak_replicas}",
+            m.preemptions,
+        ])
+    print(render_table(
+        [
+            "policy", "done", "goodput/s", "SLO att",
+            "p50 TTFT", "p95 TTFT", "p99 TTFT",
+            "p50 TPOT ms", "p95 TPOT ms", "p99 TPOT ms",
+            "replicas", "preempt",
+        ],
+        rows,
+        title=(
+            f"Cluster: {args.requests} requests @ {args.rate}/s, "
+            f"{args.replicas} x tp={args.tp} replicas, method={args.method}, "
+            f"SLO ttft<={args.slo_ttft}s tpot<={args.slo_tpot}s"
+        ),
+    ))
+    return 0
+
+
 def _cmd_harness(args: argparse.Namespace) -> int:
     from repro.harness.run_all import main as run_all_main
 
@@ -143,6 +204,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--method", default="all", choices=["all", *sorted(METHODS)])
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.set_defaults(fn=_cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="multi-replica cluster serving simulation"
+    )
+    p_cluster.add_argument("--replicas", type=int, default=2)
+    p_cluster.add_argument("--tp", type=int, default=1,
+                           help="tensor-parallel degree per replica")
+    p_cluster.add_argument(
+        "--policy", default="all", choices=["all", *ROUTER_POLICIES]
+    )
+    p_cluster.add_argument("--method", default="turbo_mixed", choices=sorted(METHODS))
+    p_cluster.add_argument("--rate", type=float, default=8.0)
+    p_cluster.add_argument("--requests", type=int, default=80)
+    p_cluster.add_argument("--sessions", type=int, default=16)
+    p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument("--slo-ttft", type=float, default=15.0,
+                           help="TTFT deadline (s)")
+    p_cluster.add_argument("--slo-tpot", type=float, default=0.25,
+                           help="TPOT deadline (s)")
+    p_cluster.add_argument("--autoscale", action="store_true",
+                           help="enable the queue-depth autoscaler")
+    p_cluster.add_argument("--max-replicas", type=int, default=8)
+    p_cluster.set_defaults(fn=_cmd_cluster)
 
     p_h = sub.add_parser("harness", help="run table/figure regenerators")
     p_h.add_argument("names", nargs="*", help="subset (default: all)")

@@ -1,0 +1,61 @@
+"""Multi-replica, tensor-parallel cluster serving simulator.
+
+The paper argues KV-cache compression at the *kernel* level; this
+subpackage measures what it buys at the *fleet* level, where the ROADMAP's
+"millions of users" traffic actually lands.  Smaller KV footprints raise
+the admission capacity of every replica, which changes how a router
+should spread load, how many replicas a workload needs, and how much
+goodput an SLO-bound deployment extracts from the same GPUs.
+
+* :mod:`repro.cluster.replica` — one engine (optionally tensor-parallel
+  via :mod:`repro.perf.tp`) plus the load signals routers read.
+* :mod:`repro.cluster.router` — round-robin, least-outstanding-tokens,
+  least-KV-pressure, and session-affinity dispatch policies.
+* :mod:`repro.cluster.autoscaler` — reactive queue-depth scale-up/-down.
+* :mod:`repro.cluster.simulator` — the discrete-event fleet loop.
+* :mod:`repro.cluster.metrics` — SLOs, goodput, and tail attainment.
+
+This is the architectural seam later scaling work (disaggregated
+prefill, heterogeneous replicas, multi-tenant fairness) plugs into: each
+is a new router/replica/autoscaler variant behind the same simulator.
+"""
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.metrics import (
+    SLO,
+    ClusterMetrics,
+    ReplicaStats,
+    ScaleEvent,
+    summarize_cluster,
+)
+from repro.cluster.replica import Replica
+from repro.cluster.router import (
+    ROUTER_POLICIES,
+    LeastKVPressureRouter,
+    LeastOutstandingTokensRouter,
+    RoundRobinRouter,
+    Router,
+    SessionAffinityRouter,
+    make_router,
+)
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "SLO",
+    "ClusterMetrics",
+    "ReplicaStats",
+    "ScaleEvent",
+    "summarize_cluster",
+    "Replica",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingTokensRouter",
+    "LeastKVPressureRouter",
+    "SessionAffinityRouter",
+    "ROUTER_POLICIES",
+    "make_router",
+    "ClusterConfig",
+    "ClusterSimulator",
+]

@@ -1,0 +1,76 @@
+"""Reactive queue-depth autoscaler.
+
+The simplest policy a fleet actually runs: watch the mean waiting-queue
+depth per active replica, add a replica when it exceeds
+``scale_up_queue``, retire one (drain, never kill) when it falls below
+``scale_down_queue``, and never act twice within ``cooldown_s``.
+
+Decisions are evaluated at arrival-dispatch instants — the moments the
+cluster simulator already synchronises the fleet — which matches the
+"metrics-server polls, controller reacts" cadence of real deployments
+closely enough for capacity studies while keeping the simulation
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.replica import Replica
+
+__all__ = ["AutoscalerConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    min_replicas: int = 1
+    max_replicas: int = 8
+    #: Mean waiting requests per active replica above which one replica
+    #: is added.
+    scale_up_queue: float = 6.0
+    #: Mean waiting requests per active replica below which one replica
+    #: is drained (only when every survivor would stay under the up
+    #: threshold).
+    scale_down_queue: float = 0.25
+    cooldown_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.scale_down_queue >= self.scale_up_queue:
+            raise ValueError("scale_down_queue must be below scale_up_queue")
+
+
+class Autoscaler:
+    """Stateful threshold controller over the active replica set."""
+
+    def __init__(self, config: AutoscalerConfig = AutoscalerConfig()):
+        self.config = config
+        self._last_action_at = float("-inf")
+
+    def decide(self, now: float, active: Sequence[Replica]) -> Optional[str]:
+        """Return ``"up"``, ``"down"``, or ``None`` for the fleet at ``now``."""
+        if not active:
+            return "up"
+        if now - self._last_action_at < self.config.cooldown_s:
+            return None
+        mean_queue = sum(r.queue_depth for r in active) / len(active)
+        if mean_queue > self.config.scale_up_queue:
+            if len(active) < self.config.max_replicas:
+                self._last_action_at = now
+                return "up"
+            return None
+        if mean_queue < self.config.scale_down_queue:
+            if len(active) > self.config.min_replicas:
+                self._last_action_at = now
+                return "down"
+        return None
+
+    @staticmethod
+    def pick_victim(active: List[Replica]) -> Replica:
+        """Replica to drain on scale-down: the least-loaded, then the
+        youngest (highest id) — it empties fastest."""
+        return min(active, key=lambda r: (r.outstanding_tokens, -r.replica_id))

@@ -1,0 +1,162 @@
+"""Cluster-level SLOs and summary metrics.
+
+The single-engine :class:`repro.serving.metrics.ServingMetrics` reports
+throughput and latency moments; a fleet operator additionally cares about
+**goodput** — how many requests per second finish *within their service
+level objective* — and tail attainment.  Following the SLO framing of
+serving systems like DistServe/AlpaServe, a request counts toward goodput
+only if both deadlines hold:
+
+* **TTFT** (time to first token) ≤ ``slo.ttft_s`` — responsiveness;
+* **TPOT** (mean time per output token) ≤ ``slo.tpot_s`` — streaming rate.
+
+Everything here is pure aggregation over the per-request
+:class:`~repro.serving.request.RequestRecord` objects collected from all
+replicas, so conservation properties ("every request finishes exactly
+once") are checkable by tests from the same data the operator sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.request import RequestRecord, RequestStatus
+
+__all__ = ["SLO", "ReplicaStats", "ScaleEvent", "ClusterMetrics", "summarize_cluster"]
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else float("nan")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Per-request deadlines (seconds)."""
+
+    ttft_s: float = 15.0
+    tpot_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.ttft_s <= 0 or self.tpot_s <= 0:
+            raise ValueError("SLO deadlines must be positive")
+
+    def met_by(self, record: RequestRecord) -> bool:
+        """Did a finished request meet both deadlines?"""
+        if record.status is not RequestStatus.FINISHED:
+            return False
+        ttft, tpot = record.ttft, record.tpot
+        return (
+            ttft is not None
+            and tpot is not None
+            and ttft <= self.ttft_s
+            and tpot <= self.tpot_s
+        )
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """Per-replica share of the run."""
+
+    replica_id: int
+    completed: int
+    peak_running: int
+    preemptions: int
+    kv_utilization: float
+    drained: bool
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler action."""
+
+    time: float
+    action: str  # "up" | "down"
+    n_active: int  # active replicas after the action
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """What a fleet operator reads off a cluster run."""
+
+    completed: int
+    total: int
+    makespan: float
+    output_tokens: int
+    throughput_tokens_per_s: float
+    #: Requests per second that finished within the SLO.
+    goodput_rps: float
+    #: Fraction of all submitted requests that met the SLO.
+    slo_attainment: float
+    p50_ttft: float
+    p95_ttft: float
+    p99_ttft: float
+    p50_tpot: float
+    p95_tpot: float
+    p99_tpot: float
+    preemptions: int
+    peak_replicas: int
+    final_replicas: int
+    replicas: Tuple[ReplicaStats, ...] = field(default=())
+    scale_events: Tuple[ScaleEvent, ...] = field(default=())
+
+    def as_dict(self) -> dict:
+        return {
+            "completed": self.completed,
+            "total": self.total,
+            "makespan_s": self.makespan,
+            "throughput_tok_s": self.throughput_tokens_per_s,
+            "goodput_rps": self.goodput_rps,
+            "slo_attainment": self.slo_attainment,
+            "p50_ttft_s": self.p50_ttft,
+            "p95_ttft_s": self.p95_ttft,
+            "p99_ttft_s": self.p99_ttft,
+            "p50_tpot_s": self.p50_tpot,
+            "p95_tpot_s": self.p95_tpot,
+            "p99_tpot_s": self.p99_tpot,
+            "preemptions": self.preemptions,
+            "peak_replicas": self.peak_replicas,
+            "final_replicas": self.final_replicas,
+            "scale_ups": sum(1 for e in self.scale_events if e.action == "up"),
+            "scale_downs": sum(1 for e in self.scale_events if e.action == "down"),
+        }
+
+
+def summarize_cluster(
+    records_by_replica: Dict[int, List[RequestRecord]],
+    slo: SLO,
+    makespan: float,
+    replica_stats: Sequence[ReplicaStats] = (),
+    scale_events: Sequence[ScaleEvent] = (),
+    peak_replicas: int = 0,
+    final_replicas: int = 0,
+) -> ClusterMetrics:
+    """Aggregate per-replica request records into fleet metrics."""
+    records = [r for recs in records_by_replica.values() for r in recs]
+    finished = [r for r in records if r.status is RequestStatus.FINISHED]
+    ttfts = [r.ttft for r in finished if r.ttft is not None]
+    tpots = [r.tpot for r in finished if r.tpot is not None]
+    output_tokens = sum(r.request.gen_len for r in finished)
+    good = sum(1 for r in finished if slo.met_by(r))
+    return ClusterMetrics(
+        completed=len(finished),
+        total=len(records),
+        makespan=makespan,
+        output_tokens=output_tokens,
+        throughput_tokens_per_s=output_tokens / makespan if makespan > 0 else 0.0,
+        goodput_rps=good / makespan if makespan > 0 else 0.0,
+        slo_attainment=good / len(records) if records else 0.0,
+        p50_ttft=_percentile(ttfts, 50),
+        p95_ttft=_percentile(ttfts, 95),
+        p99_ttft=_percentile(ttfts, 99),
+        p50_tpot=_percentile(tpots, 50),
+        p95_tpot=_percentile(tpots, 95),
+        p99_tpot=_percentile(tpots, 99),
+        preemptions=sum(r.preemptions for r in records),
+        peak_replicas=peak_replicas,
+        final_replicas=final_replicas,
+        replicas=tuple(replica_stats),
+        scale_events=tuple(scale_events),
+    )

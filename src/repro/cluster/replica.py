@@ -1,0 +1,92 @@
+"""One serving replica: a (possibly tensor-parallel) engine in a fleet.
+
+A :class:`Replica` is a thin identity-and-lifecycle wrapper around the
+open-loop :class:`repro.serving.ServingEngine` API: the cluster simulator
+owns arrival dispatch and time synchronisation; the replica exposes the
+load signals routers read (queue depth, outstanding tokens, KV pressure)
+and the drain state the autoscaler manages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perf.attention_costs import MethodSpec
+from repro.perf.e2e import ModelGeometry
+from repro.perf.gpu import A100_80GB, GPUSpec
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.request import Request, RequestRecord
+
+__all__ = ["Replica"]
+
+
+class Replica:
+    """A serving engine plus fleet bookkeeping."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        model: ModelGeometry,
+        method: MethodSpec,
+        config: EngineConfig = EngineConfig(),
+        gpu: GPUSpec = A100_80GB,
+    ):
+        self.replica_id = replica_id
+        self.engine = ServingEngine(model, method, config, gpu)
+        #: Draining replicas accept no new dispatches; the autoscaler
+        #: retires them once their admitted/queued work completes.
+        self.draining = False
+        #: Cluster time at which this replica joined the fleet.
+        self.started_at = 0.0
+
+    # -- engine delegation -------------------------------------------------
+    def submit(self, request: Request) -> None:
+        if self.draining:
+            raise RuntimeError(f"replica {self.replica_id} is draining")
+        self.engine.submit(request)
+
+    def step(self) -> float:
+        return self.engine.step()
+
+    def advance_to(self, t: float) -> None:
+        self.engine.advance_to(t)
+
+    @property
+    def clock(self) -> float:
+        return self.engine.clock
+
+    @property
+    def busy(self) -> bool:
+        return self.engine.busy
+
+    @property
+    def records(self) -> Dict[int, RequestRecord]:
+        return self.engine.records
+
+    # -- load signals for routing ------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self.engine.queue_depth
+
+    @property
+    def outstanding_tokens(self) -> int:
+        return self.engine.outstanding_tokens
+
+    @property
+    def kv_pressure(self) -> float:
+        return self.engine.kv_pressure
+
+    @property
+    def peak_running(self) -> int:
+        return self.engine.peak_running
+
+    @property
+    def kv_utilization(self) -> float:
+        return self.engine.allocator.utilization
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Replica(id={self.replica_id}, clock={self.clock:.2f}, "
+            f"queue={self.queue_depth}, running={len(self.engine.running)}, "
+            f"draining={self.draining})"
+        )

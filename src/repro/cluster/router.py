@@ -1,0 +1,119 @@
+"""Router policies: which replica serves the next arrival.
+
+All policies are deterministic (ties break on the lowest replica id) so
+cluster simulations are reproducible.  The load signals they read come
+from :class:`repro.cluster.replica.Replica`:
+
+* ``round_robin`` — classic stateless cycling; the baseline every
+  load-aware policy is measured against.
+* ``least_tokens`` — join-the-shortest-queue measured in *work*: the
+  replica with the fewest outstanding (un-prefilled + un-generated)
+  tokens.  Prompt/generation length heterogeneity is what makes this
+  beat request-count balancing.
+* ``least_kv`` — KV-pressure-aware: the replica whose resident KV blocks
+  plus queued prompt demand is the smallest fraction of its capacity.
+  This is the policy that *sees* cache compression — a TurboAttention
+  replica under the same byte budget reports lower pressure than an FP16
+  one, so mixed fleets and tight-memory regimes route around OOM-driven
+  queueing (the cluster-level restatement of the paper's §5 capacity
+  argument).
+* ``affinity`` — session/prefix affinity: a session hashes to a home
+  replica (its KV prefix would be cache-resident there), spilling to the
+  least-loaded replica only when the home queue exceeds
+  ``spill_queue_depth``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.cluster.replica import Replica
+from repro.serving.request import Request
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingTokensRouter",
+    "LeastKVPressureRouter",
+    "SessionAffinityRouter",
+    "ROUTER_POLICIES",
+    "make_router",
+]
+
+
+class Router:
+    """Base router: subclasses pick a replica for each arrival."""
+
+    name = "base"
+
+    def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
+        raise NotImplementedError
+
+    @staticmethod
+    def _require(replicas: Sequence[Replica]) -> None:
+        if not replicas:
+            raise ValueError("no active replicas to route to")
+
+
+class RoundRobinRouter(Router):
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
+        self._require(replicas)
+        chosen = replicas[self._cursor % len(replicas)]
+        self._cursor += 1
+        return chosen
+
+
+class LeastOutstandingTokensRouter(Router):
+    name = "least_tokens"
+
+    def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
+        self._require(replicas)
+        return min(replicas, key=lambda r: (r.outstanding_tokens, r.replica_id))
+
+
+class LeastKVPressureRouter(Router):
+    name = "least_kv"
+
+    def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
+        self._require(replicas)
+        return min(replicas, key=lambda r: (r.kv_pressure, r.replica_id))
+
+
+class SessionAffinityRouter(Router):
+    name = "affinity"
+
+    def __init__(self, spill_queue_depth: int = 16) -> None:
+        if spill_queue_depth < 0:
+            raise ValueError("spill_queue_depth must be >= 0")
+        self.spill_queue_depth = spill_queue_depth
+
+    def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
+        self._require(replicas)
+        home = replicas[request.session_id % len(replicas)]
+        if home.queue_depth > self.spill_queue_depth:
+            return min(replicas, key=lambda r: (r.outstanding_tokens, r.replica_id))
+        return home
+
+
+ROUTER_POLICIES: Dict[str, Callable[[], Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingTokensRouter.name: LeastOutstandingTokensRouter,
+    LeastKVPressureRouter.name: LeastKVPressureRouter,
+    SessionAffinityRouter.name: SessionAffinityRouter,
+}
+
+
+def make_router(policy: str) -> Router:
+    """Instantiate a fresh router for ``policy`` (stateful per run)."""
+    try:
+        factory = ROUTER_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown router policy {policy!r}; known: {sorted(ROUTER_POLICIES)}"
+        ) from None
+    return factory()

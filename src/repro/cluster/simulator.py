@@ -1,0 +1,179 @@
+"""Multi-replica cluster serving simulator.
+
+Composes N tensor-parallel :class:`~repro.cluster.replica.Replica` engines
+behind one router.  Time runs as a discrete-event loop over the shared
+arrival stream:
+
+1. **Synchronise** — before dispatching the arrival at time ``t``, every
+   busy replica steps forward until its local clock reaches ``t`` (engine
+   steps are atomic, so a replica may overshoot slightly — the same
+   "decision reads state as of the last completed iteration" staleness a
+   real router has); idle replicas jump their clocks to ``t``.
+2. **Autoscale** — the optional queue-depth controller may add a fresh
+   replica or mark one draining (no new dispatches; it finishes what it
+   holds and retires when empty).
+3. **Route** — the policy picks an active replica from its load signals
+   and the request is submitted to that replica's FCFS queue.
+4. **Drain** — after the last arrival, replicas run to completion.
+
+Every request is dispatched to exactly one replica and every replica's
+records are aggregated into the :class:`~repro.cluster.metrics.ClusterMetrics`,
+so conservation ("each request finishes exactly once") holds by
+construction and is asserted by the test suite from the returned data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.metrics import (
+    SLO,
+    ClusterMetrics,
+    ReplicaStats,
+    ScaleEvent,
+    summarize_cluster,
+)
+from repro.cluster.replica import Replica
+from repro.cluster.router import make_router
+from repro.perf.attention_costs import MethodSpec
+from repro.perf.e2e import ModelGeometry
+from repro.perf.gpu import A100_80GB, GPUSpec
+from repro.serving.engine import EngineConfig
+from repro.serving.request import Request
+
+__all__ = ["ClusterConfig", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Fleet tunables."""
+
+    n_replicas: int = 2
+    #: Tensor-parallel degree of every replica (homogeneous fleet).
+    tp: int = 1
+    policy: str = "round_robin"
+    slo: SLO = SLO()
+    engine: EngineConfig = EngineConfig()
+    #: ``None`` disables autoscaling (fixed fleet of ``n_replicas``).
+    autoscaler: Optional[AutoscalerConfig] = None
+    #: Global engine-iteration guard across the whole fleet.
+    max_steps: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+
+
+class ClusterSimulator:
+    """Serve one arrival stream on a simulated replica fleet."""
+
+    def __init__(
+        self,
+        model: ModelGeometry,
+        method: MethodSpec,
+        config: ClusterConfig = ClusterConfig(),
+        gpu: GPUSpec = A100_80GB,
+    ):
+        self.model = model
+        self.method = method
+        self.config = config
+        self.gpu = gpu
+        self._engine_config = replace(config.engine, tp=config.tp)
+        self.replicas: List[Replica] = [
+            self._new_replica(i) for i in range(config.n_replicas)
+        ]
+        self.router = make_router(config.policy)
+        self.autoscaler = (
+            Autoscaler(config.autoscaler) if config.autoscaler is not None else None
+        )
+        self.scale_events: List[ScaleEvent] = []
+        self.peak_replicas = config.n_replicas
+        self._steps = 0
+
+    # -- fleet management ---------------------------------------------------
+    def _new_replica(self, replica_id: int) -> Replica:
+        return Replica(
+            replica_id, self.model, self.method, self._engine_config, self.gpu
+        )
+
+    @property
+    def active_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if not r.draining]
+
+    def _step_replica(self, replica: Replica) -> None:
+        self._steps += 1
+        if self._steps > self.config.max_steps:
+            raise RuntimeError("cluster step limit exceeded (livelock?)")
+        replica.step()
+
+    def _advance_fleet_to(self, t: float) -> None:
+        for replica in self.replicas:
+            while replica.busy and replica.clock < t:
+                self._step_replica(replica)
+            replica.advance_to(t)
+
+    def _autoscale(self, now: float) -> None:
+        if self.autoscaler is None:
+            return
+        active = self.active_replicas
+        decision = self.autoscaler.decide(now, active)
+        if decision == "up":
+            replica = self._new_replica(len(self.replicas))
+            replica.started_at = now
+            replica.advance_to(now)
+            self.replicas.append(replica)
+            self.peak_replicas = max(self.peak_replicas, len(self.active_replicas))
+            self.scale_events.append(
+                ScaleEvent(time=now, action="up", n_active=len(self.active_replicas))
+            )
+        elif decision == "down":
+            victim = Autoscaler.pick_victim(active)
+            victim.draining = True
+            self.scale_events.append(
+                ScaleEvent(time=now, action="down", n_active=len(self.active_replicas))
+            )
+
+    # -- simulation ----------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ClusterMetrics:
+        arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        for request in arrivals:
+            t = request.arrival_time
+            self._advance_fleet_to(t)
+            self._autoscale(t)
+            target = self.router.choose(request, self.active_replicas)
+            target.submit(request)
+
+        # Drain: run every replica to completion.
+        for replica in self.replicas:
+            while replica.busy:
+                self._step_replica(replica)
+
+        worked = [r for r in self.replicas if r.records]
+        makespan = max((r.clock for r in worked), default=0.0)
+        records_by_replica = {
+            r.replica_id: list(r.records.values()) for r in self.replicas
+        }
+        stats = [
+            ReplicaStats(
+                replica_id=r.replica_id,
+                completed=sum(
+                    1 for rec in r.records.values() if rec.finished_at is not None
+                ),
+                peak_running=r.peak_running,
+                preemptions=sum(rec.preemptions for rec in r.records.values()),
+                kv_utilization=r.kv_utilization,
+                drained=r.draining,
+            )
+            for r in self.replicas
+        ]
+        return summarize_cluster(
+            records_by_replica,
+            slo=self.config.slo,
+            makespan=makespan,
+            replica_stats=stats,
+            scale_events=self.scale_events,
+            peak_replicas=self.peak_replicas,
+            final_replicas=len(self.active_replicas),
+        )

@@ -13,6 +13,7 @@ import time
 
 from repro.harness import (
     ablations,
+    cluster,
     needle,
     serving_sim,
     fig1,
@@ -44,6 +45,7 @@ RUNNERS = {
     "fig10": fig10,
     "ablations": ablations,
     "serving": serving_sim,
+    "cluster": cluster,
     "needle": needle,
 }
 

@@ -22,6 +22,8 @@ Modules:
 * :mod:`repro.perf.throughput` — end-to-end tokens/s.
 * :mod:`repro.perf.kernelsim` — tile-level kernel simulator producing the
   phase breakdowns of Figure 1b.
+* :mod:`repro.perf.tp` — tensor-parallel sharding costs (per-layer
+  all-reduce from the link-bandwidth model, pooled replica KV budgets).
 """
 
 from repro.perf.gpu import GPUSpec, A100_80GB
@@ -34,6 +36,7 @@ from repro.perf.attention_costs import (
 )
 from repro.perf.e2e import ModelGeometry, e2e_step_latency, phase_breakdown
 from repro.perf.memory import MemoryModel
+from repro.perf.tp import replica_kv_budget, tp_step_latency
 from repro.perf.throughput import generation_throughput, max_throughput
 from repro.perf.roofline import RooflinePoint, roofline
 
@@ -49,6 +52,8 @@ __all__ = [
     "e2e_step_latency",
     "phase_breakdown",
     "MemoryModel",
+    "replica_kv_budget",
+    "tp_step_latency",
     "generation_throughput",
     "max_throughput",
     "RooflinePoint",

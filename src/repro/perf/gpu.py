@@ -49,6 +49,13 @@ class GPUSpec:
     cuda_efficiency: float = 0.7
     mem_efficiency: float = 0.8
     kernel_overhead_us: float = 5.0
+    #: Per-direction NVLink bandwidth between peers in one TP group
+    #: (A100 NVLink3: 600 GB/s bidirectional = 300 GB/s each way).
+    link_bandwidth_gbps: float = 300.0
+    #: Fraction of peak link bandwidth NCCL ring collectives achieve.
+    link_efficiency: float = 0.75
+    #: Per-hop launch/sync latency of one collective step (NCCL ring hop).
+    link_latency_us: float = 2.0
 
     def _rate(self, peak_tera: float, eff: float) -> float:
         """Achievable ops/s from a peak tera-rate and an efficiency."""
@@ -78,6 +85,21 @@ class GPUSpec:
         mem = self.memory_time(counts)
         return max(compute, mem) + counts.kernel_launches * self.kernel_overhead_us * 1e-6
 
+    def allreduce_time(self, nbytes: float, ranks: int) -> float:
+        """Seconds for a ring all-reduce of ``nbytes`` across ``ranks`` peers.
+
+        Ring collective: ``2 * (ranks - 1)`` steps, each moving
+        ``nbytes / ranks`` over one link, plus a fixed per-step hop latency.
+        The bandwidth term shrinks toward ``2 * nbytes / bw`` as ranks grow
+        while the latency term grows linearly — which is what makes
+        tensor-parallel scaling saturate.
+        """
+        if ranks <= 1 or nbytes <= 0:
+            return 0.0
+        bw = self.link_bandwidth_gbps * 1e9 * self.link_efficiency
+        steps = 2 * (ranks - 1)
+        return steps * (nbytes / ranks) / bw + steps * self.link_latency_us * 1e-6
+
 
 A100_80GB = GPUSpec(
     name="A100-SXM-80GB",
@@ -104,4 +126,5 @@ H100_80GB = GPUSpec(
     int_alu_tops=66.9,
     hbm_bandwidth_gbps=3350.0,
     hbm_capacity_gb=80.0,
+    link_bandwidth_gbps=450.0,  # NVLink4: 900 GB/s bidirectional
 )

@@ -13,20 +13,34 @@ One engine iteration mirrors a vLLM-style step:
    mean context.
 4. **Growth/preemption** — each generated token may require a new cache
    block; on OOM the most-recently-admitted request is preempted
-   (vLLM-style recompute: blocks freed, request requeued).
+   (vLLM-style recompute: blocks freed, request requeued *at the front*
+   of the waiting queue).
 
-Latencies come from :func:`repro.perf.e2e.e2e_step_latency`, so the same
-calibration behind Figures 6/7a drives the serving behaviour.
+Latencies come from :func:`repro.perf.tp.tp_step_latency` (which reduces
+to :func:`repro.perf.e2e.e2e_step_latency` at ``tp=1``), so the same
+calibration behind Figures 6/7a drives the serving behaviour, and a
+replica may be tensor-parallel over several GPUs.
+
+The engine exposes two driving modes:
+
+* :meth:`run` — closed-loop: hand it a whole workload; it drains arrivals
+  against its own clock until every request finishes (the seed behaviour).
+* :meth:`start` / :meth:`submit` / :meth:`step` — open-loop: an external
+  driver (the cluster simulator, :mod:`repro.cluster`) owns arrival
+  dispatch and advances the engine one iteration at a time.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
 
 from repro.perf.attention_costs import MethodSpec
-from repro.perf.e2e import ModelGeometry, e2e_step_latency
+from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
+from repro.perf.tp import replica_kv_budget, tp_step_latency
 from repro.serving.allocator import PagedKVAllocator
 from repro.serving.metrics import ServingMetrics, summarize
 from repro.serving.request import Request, RequestRecord, RequestStatus
@@ -50,6 +64,10 @@ class EngineConfig:
     #: requests interleave.  ``None`` = whole-prompt prefill (the classic
     #: stall-inducing policy).
     prefill_chunk: Optional[int] = None
+    #: Tensor-parallel degree of this replica: weights/KV shard across
+    #: ``tp`` GPUs (pooling their HBM) and step latencies include the
+    #: per-layer all-reduce cost.
+    tp: int = 1
     max_iterations: int = 2_000_000
 
 
@@ -63,150 +81,226 @@ class ServingEngine:
         config: EngineConfig = EngineConfig(),
         gpu: GPUSpec = A100_80GB,
     ):
+        if config.tp < 1:
+            raise ValueError("tp must be >= 1")
         self.model = model
         self.method = method
         self.config = config
         self.gpu = gpu
         budget = config.kv_budget_bytes
         if budget is None:
-            budget = gpu.hbm_capacity_gb * 1e9 - model.weight_bytes - config.reserve_gb * 1e9
+            budget = replica_kv_budget(
+                model, tp=config.tp, gpu=gpu, reserve_gb=config.reserve_gb
+            )
         self.allocator = PagedKVAllocator(
             model, method, budget_bytes=budget, block_tokens=config.block_tokens,
             paper_harness=config.paper_harness_memory,
         )
+        self.start()
 
     # -- latency helpers ------------------------------------------------------
     def _prefill_latency(self, n_tokens: int, kv_len: Optional[int] = None) -> float:
-        return e2e_step_latency(
+        return tp_step_latency(
             self.method, self.model, 1, n_tokens,
             kv_len if kv_len is not None else n_tokens,
-            prefill=True, gpu=self.gpu,
+            prefill=True, tp=self.config.tp, gpu=self.gpu,
         )
 
     def _decode_latency(self, batch: int, mean_ctx: float) -> float:
-        return e2e_step_latency(
-            self.method, self.model, batch, 1, max(int(mean_ctx), 1), prefill=False, gpu=self.gpu
+        return tp_step_latency(
+            self.method, self.model, batch, 1, max(int(mean_ctx), 1),
+            prefill=False, tp=self.config.tp, gpu=self.gpu,
         )
 
-    # -- simulation ------------------------------------------------------------
+    # -- open-loop driving API ------------------------------------------------
+    def start(self) -> None:
+        """Reset all per-run state (records, queues, clock)."""
+        self.records: Dict[int, RequestRecord] = {}
+        self.waiting: Deque[int] = deque()
+        self.running: List[int] = []  # admission order (preemption pops the tail)
+        self.clock = 0.0
+        self.iterations = 0
+        self.peak_running = 0
+        for rid in list(getattr(self.allocator, "_allocs", {})):
+            self.allocator.release(rid)
+
+    def submit(self, request: Request) -> None:
+        """Enqueue one request (FCFS tail).  The caller owns arrival timing."""
+        if request.request_id in self.records:
+            raise ValueError(f"duplicate request_id {request.request_id}")
+        self.records[request.request_id] = RequestRecord(request=request)
+        self.waiting.append(request.request_id)
+
+    @property
+    def busy(self) -> bool:
+        """Does the engine have admitted or queued work?"""
+        return bool(self.running or self.waiting)
+
+    def advance_to(self, t: float) -> None:
+        """Idle-jump the clock forward (never backward)."""
+        if not self.busy and self.clock < t:
+            self.clock = t
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def outstanding_tokens(self) -> int:
+        """Prompt + generation tokens not yet produced, over waiting+running."""
+        total = 0
+        for rid in self.waiting:
+            rec = self.records[rid]
+            total += rec.request.prompt_len + rec.request.gen_len
+        for rid in self.running:
+            rec = self.records[rid]
+            total += (rec.request.prompt_len - rec.prefilled) + (
+                rec.request.gen_len - rec.generated
+            )
+        return total
+
+    @property
+    def kv_pressure(self) -> float:
+        """Resident KV utilization plus queued prompt demand, as a fraction
+        of device blocks.  >1 means the queue alone oversubscribes HBM."""
+        if self.allocator.total_blocks == 0:
+            return float("inf")
+        queued = sum(
+            self.allocator.blocks_for(self.records[rid].request.prompt_len)
+            for rid in self.waiting
+        )
+        return (self.allocator.used_blocks + queued) / self.allocator.total_blocks
+
+    def step(self) -> float:
+        """One engine iteration (admission, prefill, decode, growth).
+
+        Returns the simulated seconds consumed; advances :attr:`clock`.
+        """
+        self.iterations += 1
+        records, waiting, running = self.records, self.waiting, self.running
+
+        # Admission: reserve the full prompt, enter PREFILLING.
+        while waiting and len(running) < self.config.max_batch:
+            rid = waiting[0]
+            rec = records[rid]
+            if not self.allocator.grow(rid, rec.request.prompt_len):
+                break
+            waiting.popleft()
+            rec.status = RequestStatus.PREFILLING
+            rec.admitted_at = self.clock
+            running.append(rid)
+        self.peak_running = max(self.peak_running, len(running))
+
+        # Prefill work.  Unchunked: every PREFILLING request finishes
+        # its whole prompt this iteration (serialized).  Chunked: only
+        # the oldest PREFILLING request advances, by one chunk.
+        step_time = 0.0
+        prefilling = [
+            rid for rid in running
+            if records[rid].status is RequestStatus.PREFILLING
+        ]
+        chunk = self.config.prefill_chunk
+        if chunk is None:
+            for rid in prefilling:
+                rec = records[rid]
+                step_time += self._prefill_latency(rec.request.prompt_len)
+                rec.prefilled = rec.request.prompt_len
+                rec.status = RequestStatus.RUNNING
+        elif prefilling:
+            rid = prefilling[0]
+            rec = records[rid]
+            n = min(chunk, rec.request.prompt_len - rec.prefilled)
+            step_time += self._prefill_latency(n, kv_len=rec.prefilled + n)
+            rec.prefilled += n
+            if rec.prefilled >= rec.request.prompt_len:
+                rec.status = RequestStatus.RUNNING
+
+        # Batched decode for fully-prefilled requests.
+        decoding = [
+            rid for rid in running
+            if records[rid].status is RequestStatus.RUNNING
+        ]
+        if decoding:
+            mean_ctx = sum(records[rid].context_len for rid in decoding) / len(decoding)
+            step_time += self._decode_latency(len(decoding), mean_ctx)
+        if step_time == 0.0 and not decoding:
+            # Nothing processable (all prefilling under chunking with
+            # zero-size chunks cannot happen; guard anyway).
+            step_time = 1e-6
+        self.clock += step_time
+
+        # Token bookkeeping + cache growth (with preemption on OOM).
+        finished: List[int] = []
+        for rid in list(decoding):
+            if records[rid].status is not RequestStatus.RUNNING:
+                continue  # preempted earlier in this loop
+            rec = records[rid]
+            rec.generated += 1
+            if rec.first_token_at is None:
+                rec.first_token_at = self.clock
+            if rec.done:
+                rec.status = RequestStatus.FINISHED
+                rec.finished_at = self.clock
+                self.allocator.release(rid)
+                finished.append(rid)
+                continue
+            if not self.allocator.grow(rid, rec.context_len + 1):
+                # OOM: preempt the most recent admission that isn't this
+                # request; if none, preempt this one.
+                victim = next(
+                    (v for v in reversed(running) if v != rid and v not in finished),
+                    rid,
+                )
+                self.allocator.release(victim)
+                records[victim].reset_for_requeue()
+                running.remove(victim)
+                waiting.appendleft(victim)
+                if victim != rid:
+                    # Retry the growth for the current request.
+                    if not self.allocator.grow(rid, rec.context_len + 1):
+                        self.allocator.release(rid)
+                        rec.reset_for_requeue()
+                        running.remove(rid)
+                        waiting.appendleft(rid)
+        for rid in finished:
+            running.remove(rid)
+        return step_time
+
+    def summarize(self) -> ServingMetrics:
+        """Aggregate the current records into operator metrics."""
+        return summarize(list(self.records.values()), makespan=self.clock)
+
+    # -- closed-loop simulation ------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ServingMetrics:
-        records: Dict[int, RequestRecord] = {
-            r.request_id: RequestRecord(request=r) for r in requests
-        }
+        self.start()
         arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        for r in arrivals:
+            # Records exist up-front so `total` counts never-admitted
+            # requests; arrival into the FCFS queue happens on the clock.
+            self.records[r.request_id] = RequestRecord(request=r)
         arrival_idx = 0
-        waiting: List[int] = []
-        running: List[int] = []  # admission order (preemption pops the tail)
-        clock = 0.0
 
         for _ in range(self.config.max_iterations):
             # Drain arrivals into the FCFS queue.
             while (
                 arrival_idx < len(arrivals)
-                and arrivals[arrival_idx].arrival_time <= clock
+                and arrivals[arrival_idx].arrival_time <= self.clock
             ):
-                waiting.append(arrivals[arrival_idx].request_id)
+                self.waiting.append(arrivals[arrival_idx].request_id)
                 arrival_idx += 1
 
             # Idle: jump to the next arrival.
-            if not running and not waiting:
+            if not self.busy:
                 if arrival_idx >= len(arrivals):
                     break
-                clock = arrivals[arrival_idx].arrival_time
+                self.clock = arrivals[arrival_idx].arrival_time
                 continue
 
-            # Admission: reserve the full prompt, enter PREFILLING.
-            while waiting and len(running) < self.config.max_batch:
-                rid = waiting[0]
-                rec = records[rid]
-                if not self.allocator.grow(rid, rec.request.prompt_len):
-                    break
-                waiting.pop(0)
-                rec.status = RequestStatus.PREFILLING
-                rec.admitted_at = clock
-                running.append(rid)
+            self.step()
 
-            # Prefill work.  Unchunked: every PREFILLING request finishes
-            # its whole prompt this iteration (serialized).  Chunked: only
-            # the oldest PREFILLING request advances, by one chunk.
-            step_time = 0.0
-            prefilling = [
-                rid for rid in running
-                if records[rid].status is RequestStatus.PREFILLING
-            ]
-            chunk = self.config.prefill_chunk
-            if chunk is None:
-                for rid in prefilling:
-                    rec = records[rid]
-                    step_time += self._prefill_latency(rec.request.prompt_len)
-                    rec.prefilled = rec.request.prompt_len
-                    rec.status = RequestStatus.RUNNING
-            elif prefilling:
-                rid = prefilling[0]
-                rec = records[rid]
-                n = min(chunk, rec.request.prompt_len - rec.prefilled)
-                step_time += self._prefill_latency(n, kv_len=rec.prefilled + n)
-                rec.prefilled += n
-                if rec.prefilled >= rec.request.prompt_len:
-                    rec.status = RequestStatus.RUNNING
-
-            # Batched decode for fully-prefilled requests.
-            decoding = [
-                rid for rid in running
-                if records[rid].status is RequestStatus.RUNNING
-            ]
-            if decoding:
-                mean_ctx = sum(records[rid].context_len for rid in decoding) / len(decoding)
-                step_time += self._decode_latency(len(decoding), mean_ctx)
-            if step_time == 0.0 and not decoding:
-                # Nothing processable (all prefilling under chunking with
-                # zero-size chunks cannot happen; guard anyway).
-                step_time = 1e-6
-            clock += step_time
-
-            # Token bookkeeping + cache growth (with preemption on OOM).
-            finished: List[int] = []
-            for rid in list(decoding):
-                if records[rid].status is not RequestStatus.RUNNING:
-                    continue  # preempted earlier in this loop
-                rec = records[rid]
-                rec.generated += 1
-                if rec.first_token_at is None:
-                    rec.first_token_at = clock
-                if rec.done:
-                    rec.status = RequestStatus.FINISHED
-                    rec.finished_at = clock
-                    self.allocator.release(rid)
-                    finished.append(rid)
-                    continue
-                if not self.allocator.grow(rid, rec.context_len + 1):
-                    # OOM: preempt the most recent admission that isn't this
-                    # request; if none, preempt this one.
-                    victim = next(
-                        (v for v in reversed(running) if v != rid and v not in finished),
-                        rid,
-                    )
-                    self.allocator.release(victim)
-                    records[victim].reset_for_requeue()
-                    running.remove(victim)
-                    waiting.insert(0, victim)
-                    if victim != rid:
-                        # Retry the growth for the current request.
-                        if not self.allocator.grow(rid, rec.context_len + 1):
-                            self.allocator.release(rid)
-                            rec.reset_for_requeue()
-                            running.remove(rid)
-                            waiting.insert(0, rid)
-            for rid in finished:
-                running.remove(rid)
-
-            if (
-                not running
-                and not waiting
-                and arrival_idx >= len(arrivals)
-            ):
+            if not self.busy and arrival_idx >= len(arrivals):
                 break
         else:
             raise RuntimeError("engine iteration limit exceeded (livelock?)")
 
-        return summarize(list(records.values()), makespan=clock)
+        return self.summarize()

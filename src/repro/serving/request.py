@@ -24,6 +24,10 @@ class Request:
     arrival_time: float
     prompt_len: int
     gen_len: int
+    #: Conversation/session key for affinity routing: follow-up turns of
+    #: one session share a KV prefix, so routers may pin a session to one
+    #: replica.  0 (the default) means "no session".
+    session_id: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.gen_len <= 0:

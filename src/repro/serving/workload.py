@@ -17,13 +17,16 @@ def poisson_workload(
     prompt_range: Tuple[int, int] = (512, 1536),
     gen_range: Tuple[int, int] = (64, 256),
     rng: Optional[np.random.Generator] = None,
+    n_sessions: Optional[int] = None,
 ) -> List[Request]:
     """Poisson arrivals with uniform prompt/generation lengths.
 
     ``arrival_rate`` is requests per second; inter-arrival times are
     exponential.  Lengths are inclusive-uniform over the given ranges —
     the defaults bracket the paper's chat-style workload (1k prompts, 125
-    generated tokens).
+    generated tokens).  ``n_sessions`` assigns each request a uniform
+    session id in ``[0, n_sessions)`` for affinity routing; drawn after
+    the length streams so existing seeded workloads are unchanged.
     """
     if n_requests <= 0:
         raise ValueError("n_requests must be positive")
@@ -33,12 +36,19 @@ def poisson_workload(
     arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=n_requests))
     prompts = rng.integers(prompt_range[0], prompt_range[1] + 1, size=n_requests)
     gens = rng.integers(gen_range[0], gen_range[1] + 1, size=n_requests)
+    if n_sessions is not None:
+        if n_sessions <= 0:
+            raise ValueError("n_sessions must be positive")
+        sessions = rng.integers(0, n_sessions, size=n_requests)
+    else:
+        sessions = np.zeros(n_requests, dtype=int)
     return [
         Request(
             request_id=i,
             arrival_time=float(arrivals[i]),
             prompt_len=int(prompts[i]),
             gen_len=int(gens[i]),
+            session_id=int(sessions[i]),
         )
         for i in range(n_requests)
     ]

@@ -54,6 +54,13 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "Open-system serving comparison" in out
 
+    def test_cluster_serving_small(self, capsys):
+        _run("cluster_serving.py", ["--requests", "16", "--rate", "5"])
+        out = capsys.readouterr().out
+        assert "Tensor parallelism" in out
+        assert "Load-aware routing" in out
+        assert "worth GPUs" in out
+
     def test_headwise_tuning(self, capsys):
         _run("headwise_tuning.py")
         out = capsys.readouterr().out

@@ -200,6 +200,29 @@ class TestExtensionHarnesses:
         )
         assert all(c.metrics.completed == c.metrics.total for c in cells)
 
+    def test_cluster_quick(self):
+        from repro.harness import cluster
+
+        cells = cluster.run(quick=True)
+        assert len(cells) == (
+            2 * len(cluster.CLUSTER_METHODS) * len(cluster.CLUSTER_POLICIES)
+        )
+        assert all(c.metrics.completed == c.metrics.total for c in cells)
+        by = {(c.workload, c.method, c.policy): c for c in cells}
+        # KV-pressure-aware routing matches/beats round-robin tail TTFT
+        # somewhere in the grid (acceptance claim).
+        assert any(
+            by[(w, m, "least_kv")].metrics.p99_ttft
+            <= by[(w, m, "round_robin")].metrics.p99_ttft
+            for w in ("steady", "bursty")
+            for m in cluster.CLUSTER_METHODS
+        )
+        # Compression -> admitted concurrency at equal HBM budget.
+        assert (
+            by[("bursty", "turbo_mixed", "round_robin")].peak_concurrency
+            > by[("bursty", "fp16", "round_robin")].peak_concurrency
+        )
+
     def test_needle_quick(self):
         from repro.harness import needle
 
