@@ -1,0 +1,41 @@
+"""Fault-tolerance extension benchmark (methods under a shared fault schedule)."""
+
+from repro.harness import faults
+
+
+def test_faults_full(benchmark, once):
+    cells = once(benchmark, faults.run, False)
+    by = {c.method: c for c in cells}
+    assert set(by) == set(faults.FAULT_METHODS)
+
+    # Graceful degradation: every submitted request terminates exactly
+    # once — completed or failed-after-retries — in every cell, healthy
+    # or faulted.  Nothing is lost untracked.
+    for c in cells:
+        assert c.healthy.completed == c.healthy.total
+        assert c.faulted.completed + c.faulted.failed == c.faulted.total
+        assert c.faulted.total == c.healthy.total
+
+    # The fault schedule actually bites: crashes fired and recovery work
+    # (retries, re-prefilled tokens) was performed somewhere.
+    assert all(c.faulted.crashes > 0 for c in cells)
+    assert any(c.faulted.retries > 0 for c in cells)
+    assert any(c.faulted.wasted_prefill_tokens > 0 for c in cells)
+
+    # Headline: under the identical seeded schedule, the compressed fleet
+    # sustains higher goodput than FP16 — despite a larger blast radius
+    # per crash (denser replicas lose more in-flight KV state).
+    assert by["turbo_mixed"].faulted.goodput_rps > by["fp16"].faulted.goodput_rps
+    assert (
+        by["turbo_mixed"].faulted.wasted_prefill_tokens
+        > by["fp16"].faulted.wasted_prefill_tokens
+    )
+
+    # Reproducibility: the same seed regenerates identical metrics.
+    again = {c.method: c for c in faults.run(False)}
+    for method, cell in by.items():
+        assert again[method].faulted == cell.faulted
+        assert again[method].healthy == cell.healthy
+
+    print()
+    faults.main(quick=False)

@@ -1,0 +1,120 @@
+"""Fault injection and graceful degradation in the cluster simulator.
+
+Walks the questions a fleet operator asks once hardware starts failing,
+using the seeded fault layer (`repro.cluster.faults`) on a Phi3-medium
+fleet:
+
+1. What does one crash cost? (anatomy of eviction, backoff, re-prefill)
+2. How do knobs trade failures for latency? (retry budget sweep)
+3. Does compression help or hurt under faults? (blast radius vs goodput)
+
+    python examples/fault_tolerance.py [--requests 60] [--rate 6.0]
+"""
+
+import argparse
+from dataclasses import replace
+
+import numpy as np
+
+from repro.cluster import (
+    SLO,
+    ClusterConfig,
+    ClusterSimulator,
+    FaultConfig,
+    FaultInjector,
+)
+from repro.harness.common import render_table
+from repro.perf import METHODS, ModelGeometry
+from repro.serving import poisson_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=60)
+    parser.add_argument("--rate", type=float, default=6.0, help="requests/second")
+    args = parser.parse_args()
+
+    model = ModelGeometry.phi3_medium()
+    slo = SLO(ttft_s=15.0, tpot_s=0.25)
+    workload = poisson_workload(
+        args.requests, arrival_rate=args.rate,
+        prompt_range=(256, 6144), gen_range=(64, 320),
+        rng=np.random.default_rng(12), n_sessions=24,
+    )
+
+    # 1. Anatomy of a fault schedule: the injector is pure and seeded, so
+    # you can print the timeline a run will face before running it.
+    faults = FaultConfig(
+        seed=7, crash_rate=0.04, stall_rate=0.05,
+        crash_downtime_s=10.0, stall_duration_s=8.0, stall_slowdown=4.0,
+        request_timeout_s=60.0, max_retries=3,
+    )
+    horizon = workload[-1].arrival_time + faults.horizon_pad_s
+    schedule = FaultInjector(faults).schedule(horizon)
+    print("1) The seeded fault timeline (same every run with this seed):")
+    rows = [
+        [f"{e.time:.1f}", e.kind, f"{e.duration_s:.0f}",
+         f"x{e.slowdown:.0f}" if e.kind == "stall" else "-"]
+        for e in schedule
+    ]
+    print(render_table(
+        ["t (s)", "fault", "duration (s)", "slowdown"], rows,
+        title=f"{len(schedule)} faults over a {horizon:.0f}s horizon",
+    ))
+
+    # 2. Retry budget: generous budgets trade failed requests for tail
+    # latency (every retry re-prefills the prompt from scratch).
+    print("\n2) Retry budget sweep (3 turbo_mixed replicas, same faults):")
+    rows = []
+    harsh = FaultConfig(
+        seed=7, crash_rate=0.1, stall_rate=0.05,
+        crash_downtime_s=10.0, stall_duration_s=8.0, stall_slowdown=4.0,
+        request_timeout_s=10.0, max_retries=3,
+    )
+    for budget in (0, 1, 3, 8):
+        cfg = ClusterConfig(
+            n_replicas=3, policy="least_kv", slo=slo,
+            faults=replace(harsh, max_retries=budget),
+        )
+        m = ClusterSimulator(model, METHODS["turbo_mixed"], cfg).run(workload)
+        rows.append([
+            budget, m.completed, m.failed, m.retries,
+            m.wasted_prefill_tokens, f"{m.p99_ttft:.1f}",
+        ])
+    print(render_table(
+        ["max_retries", "done", "failed", "retries", "re-prefill tok",
+         "p99 TTFT (s)"],
+        rows,
+        title="Failures are a knob, not an accident (timeout 10s, heavy crashes)",
+    ))
+
+    # 3. The blast-radius trade-off: a compressed replica packs more
+    # in-flight KV, so each crash wastes more work — but recovery is
+    # faster too.  Which wins?
+    print("\n3) Compression under an identical fault schedule:")
+    rows = []
+    for method in ("fp16", "turbo_mixed"):
+        out = {}
+        for label, f in (("clean", None), ("faulted", faults)):
+            cfg = ClusterConfig(n_replicas=3, policy="least_kv", slo=slo, faults=f)
+            out[label] = ClusterSimulator(model, METHODS[method], cfg).run(workload)
+        m, c = out["faulted"], out["clean"]
+        rows.append([
+            method, f"{c.goodput_rps:.2f}", f"{m.goodput_rps:.2f}",
+            m.failed, m.wasted_prefill_tokens, f"{m.availability * 100:.0f}%",
+        ])
+    print(render_table(
+        ["method", "goodput/s clean", "goodput/s faults", "failed",
+         "re-prefill tok", "avail"],
+        rows,
+        title="Blast radius grows with density; goodput still favours compression",
+    ))
+    print(
+        "\nEvery submitted request terminated exactly once (completed or"
+        "\nfailed-after-retries): the fleet degrades, it never loses work"
+        "\nuntracked — and the whole run reproduces seed-for-seed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@
     python -m repro perf    --batch 4 --context 8192 --phase decode
     python -m repro serve   --rate 6 --requests 60 --method turbo_mixed
     python -m repro cluster --replicas 4 --policy least_kv --method turbo_mixed
+    python -m repro cluster --faults --crash-rate 0.05 --timeout 30 --autoscale
     python -m repro harness table2 fig6 --quick
 
 Everything the CLI prints is produced by the same library calls the tests
@@ -25,6 +26,7 @@ from repro.cluster import (
     AutoscalerConfig,
     ClusterConfig,
     ClusterSimulator,
+    FaultConfig,
     ROUTER_POLICIES,
 )
 from repro.harness.common import accuracy_method_registry, render_table
@@ -125,6 +127,17 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         autoscaler = AutoscalerConfig(
             min_replicas=args.replicas, max_replicas=args.max_replicas
         )
+    faults = None
+    if args.faults:
+        faults = FaultConfig(
+            seed=args.fault_seed,
+            crash_rate=args.crash_rate,
+            stall_rate=args.stall_rate,
+            crash_downtime_s=args.downtime,
+            stall_slowdown=args.stall_slowdown,
+            request_timeout_s=args.timeout,
+            max_retries=args.max_retries,
+        )
     policies = list(ROUTER_POLICIES) if args.policy == "all" else [args.policy]
     rows = []
     for policy in policies:
@@ -134,9 +147,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             policy=policy,
             slo=slo,
             autoscaler=autoscaler,
+            faults=faults,
         )
         m = ClusterSimulator(model, METHODS[args.method], config).run(workload)
-        rows.append([
+        row = [
             policy,
             m.completed,
             f"{m.goodput_rps:.2f}",
@@ -146,21 +160,32 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"{m.p99_tpot * 1e3:.0f}",
             f"{m.final_replicas}/{m.peak_replicas}",
             m.preemptions,
-        ])
-    print(render_table(
-        [
-            "policy", "done", "goodput/s", "SLO att",
-            "p50 TTFT", "p95 TTFT", "p99 TTFT",
-            "p50 TPOT ms", "p95 TPOT ms", "p99 TPOT ms",
-            "replicas", "preempt",
-        ],
-        rows,
-        title=(
-            f"Cluster: {args.requests} requests @ {args.rate}/s, "
-            f"{args.replicas} x tp={args.tp} replicas, method={args.method}, "
-            f"SLO ttft<={args.slo_ttft}s tpot<={args.slo_tpot}s"
-        ),
-    ))
+        ]
+        if faults is not None:
+            row += [
+                m.failed, m.retries, m.crashes + m.stalls + m.timeouts,
+                m.wasted_prefill_tokens, f"{m.availability * 100:.0f}%",
+            ]
+        rows.append(row)
+    headers = [
+        "policy", "done", "goodput/s", "SLO att",
+        "p50 TTFT", "p95 TTFT", "p99 TTFT",
+        "p50 TPOT ms", "p95 TPOT ms", "p99 TPOT ms",
+        "replicas", "preempt",
+    ]
+    if faults is not None:
+        headers += ["failed", "retries", "faults", "re-prefill tok", "avail"]
+    title = (
+        f"Cluster: {args.requests} requests @ {args.rate}/s, "
+        f"{args.replicas} x tp={args.tp} replicas, method={args.method}, "
+        f"SLO ttft<={args.slo_ttft}s tpot<={args.slo_tpot}s"
+    )
+    if faults is not None:
+        title += (
+            f", faults(seed={faults.seed}, crash={faults.crash_rate}/s, "
+            f"stall={faults.stall_rate}/s)"
+        )
+    print(render_table(headers, rows, title=title))
     return 0
 
 
@@ -226,6 +251,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--autoscale", action="store_true",
                            help="enable the queue-depth autoscaler")
     p_cluster.add_argument("--max-replicas", type=int, default=8)
+    p_cluster.add_argument("--faults", action="store_true",
+                           help="enable seeded fault injection")
+    p_cluster.add_argument("--fault-seed", type=int, default=0)
+    p_cluster.add_argument("--crash-rate", type=float, default=0.05,
+                           help="replica crashes per simulated second")
+    p_cluster.add_argument("--stall-rate", type=float, default=0.05,
+                           help="transient stalls per simulated second")
+    p_cluster.add_argument("--stall-slowdown", type=float, default=4.0)
+    p_cluster.add_argument("--downtime", type=float, default=30.0,
+                           help="crash downtime before restart (s)")
+    p_cluster.add_argument("--timeout", type=float, default=None,
+                           help="per-dispatch TTFT deadline (s)")
+    p_cluster.add_argument("--max-retries", type=int, default=3,
+                           help="re-dispatch budget before a request FAILs")
     p_cluster.set_defaults(fn=_cmd_cluster)
 
     p_h = sub.add_parser("harness", help="run table/figure regenerators")

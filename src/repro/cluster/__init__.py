@@ -11,9 +11,13 @@ goodput an SLO-bound deployment extracts from the same GPUs.
   via :mod:`repro.perf.tp`) plus the load signals routers read.
 * :mod:`repro.cluster.router` — round-robin, least-outstanding-tokens,
   least-KV-pressure, and session-affinity dispatch policies.
-* :mod:`repro.cluster.autoscaler` — reactive queue-depth scale-up/-down.
+* :mod:`repro.cluster.autoscaler` — reactive queue-depth scale-up/-down
+  (and replacement of crashed capacity below the fleet floor).
+* :mod:`repro.cluster.faults` — seeded crash/stall/timeout injection with
+  retry-with-backoff recovery and graceful degradation.
 * :mod:`repro.cluster.simulator` — the discrete-event fleet loop.
-* :mod:`repro.cluster.metrics` — SLOs, goodput, and tail attainment.
+* :mod:`repro.cluster.metrics` — SLOs, goodput, tail attainment, and
+  availability/degradation accounting under faults.
 
 This is the architectural seam later scaling work (disaggregated
 prefill, heterogeneous replicas, multi-tenant fairness) plugs into: each
@@ -21,9 +25,11 @@ is a new router/replica/autoscaler variant behind the same simulator.
 """
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.faults import FaultConfig, FaultEvent, FaultInjector
 from repro.cluster.metrics import (
     SLO,
     ClusterMetrics,
+    FaultCounters,
     ReplicaStats,
     ScaleEvent,
     summarize_cluster,
@@ -43,6 +49,10 @@ from repro.cluster.simulator import ClusterConfig, ClusterSimulator
 __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultCounters",
     "SLO",
     "ClusterMetrics",
     "ReplicaStats",

@@ -55,6 +55,11 @@ class Autoscaler:
         """Return ``"up"``, ``"down"``, or ``None`` for the fleet at ``now``."""
         if not active:
             return "up"
+        if len(active) < self.config.min_replicas:
+            # Crash replacement: restoring the fleet floor is not subject
+            # to the cooldown — lost capacity is replaced immediately.
+            self._last_action_at = now
+            return "up"
         if now - self._last_action_at < self.config.cooldown_s:
             return None
         mean_queue = sum(r.queue_depth for r in active) / len(active)

@@ -1,0 +1,143 @@
+"""Seeded fault injection for the cluster simulator.
+
+A denser replica is a bigger blast radius: TurboAttention's compressed
+cache admits 3-4x more concurrent requests per GPU (paper §5), so one
+crash evicts 3-4x more in-flight KV state than an FP16 replica losing the
+same box.  This module makes that trade-off measurable by injecting a
+deterministic, seeded schedule of faults into
+:class:`~repro.cluster.simulator.ClusterSimulator`:
+
+* **crash** — a replica dies: every admitted and queued request loses its
+  KV state and is re-dispatched through the router (re-prefilled at real
+  cost); the replica restarts empty after ``crash_downtime_s``.
+* **stall** — a straggler: the replica keeps serving but every step takes
+  ``stall_slowdown`` times longer for ``stall_duration_s`` (thermal
+  throttling, a noisy neighbour, a flaky NVLink lane).
+* **timeout** — a per-dispatch TTFT deadline: a request that has not
+  produced its first token ``request_timeout_s`` after being handed to a
+  replica is pulled back and retried elsewhere (the client-side deadline
+  real gateways enforce).
+
+Recovery is capped-exponential-backoff redispatch with a per-request
+retry budget (``max_retries``); a request that exhausts it is recorded as
+``FAILED`` — degraded, never lost, so conservation ("every submitted
+request terminates exactly once") holds under any schedule.
+
+The schedule is generated up front from ``numpy``'s seeded Generator
+(Poisson processes per fault kind), so two runs with the same seed see
+byte-identical fault timelines and two seeds see different ones.  Victims
+are chosen at fire time by an event-carried ``salt`` over the replicas
+alive at that instant, which keeps the schedule well-defined even when
+the autoscaler grows the fleet mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["FaultConfig", "FaultEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault occurrence."""
+
+    time: float
+    kind: str  # "crash" | "stall"
+    #: Victim selector: ``salt % len(eligible)`` over replicas alive at
+    #: fire time (deterministic, fleet-size-agnostic).
+    salt: int
+    #: Crash downtime or stall length, in simulated seconds.
+    duration_s: float
+    #: Step-latency multiplier while a stall is active (1.0 for crashes).
+    slowdown: float = 1.0
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault model knobs (all rates are per simulated second, fleet-wide)."""
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    stall_rate: float = 0.0
+    crash_downtime_s: float = 30.0
+    stall_duration_s: float = 10.0
+    stall_slowdown: float = 4.0
+    #: TTFT deadline per dispatch; ``None`` disables timeout faults.
+    request_timeout_s: Optional[float] = None
+    #: Re-dispatch budget per request; beyond it the request FAILs.
+    max_retries: int = 3
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 8.0
+    #: Faults keep arriving this long past the last request arrival, so
+    #: the drain phase is exposed to them too.
+    horizon_pad_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.crash_rate < 0 or self.stall_rate < 0:
+            raise ValueError("fault rates must be non-negative")
+        if self.crash_downtime_s <= 0 or self.stall_duration_s <= 0:
+            raise ValueError("fault durations must be positive")
+        if self.stall_slowdown < 1.0:
+            raise ValueError("stall_slowdown must be >= 1 (it is a slowdown)")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s <= 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("need 0 < backoff_base_s <= backoff_cap_s")
+        if self.horizon_pad_s < 0:
+            raise ValueError("horizon_pad_s must be non-negative")
+
+    def backoff(self, retries: int) -> float:
+        """Capped exponential backoff before the ``retries``-th re-dispatch."""
+        if retries < 1:
+            raise ValueError("backoff is defined from the first retry on")
+        return min(self.backoff_base_s * 2.0 ** (retries - 1), self.backoff_cap_s)
+
+
+class FaultInjector:
+    """Deterministic schedule generator for one cluster run."""
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+
+    def schedule(self, horizon_s: float) -> List[FaultEvent]:
+        """Fault events on ``[0, horizon_s)``, sorted by time.
+
+        Each fault kind draws from its own child seed so adding one kind
+        never perturbs another kind's timeline.
+        """
+        events: List[FaultEvent] = []
+        kinds = (
+            ("crash", self.config.crash_rate, self.config.crash_downtime_s, 1.0),
+            (
+                "stall",
+                self.config.stall_rate,
+                self.config.stall_duration_s,
+                self.config.stall_slowdown,
+            ),
+        )
+        for index, (kind, rate, duration, slowdown) in enumerate(kinds):
+            if rate <= 0:
+                continue
+            rng = np.random.default_rng([self.config.seed, index])
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / rate))
+                if t >= horizon_s:
+                    break
+                events.append(
+                    FaultEvent(
+                        time=t,
+                        kind=kind,
+                        salt=int(rng.integers(1 << 30)),
+                        duration_s=duration,
+                        slowdown=slowdown,
+                    )
+                )
+        events.sort(key=lambda e: (e.time, e.kind, e.salt))
+        return events

@@ -19,13 +19,20 @@ once") are checkable by tests from the same data the operator sees.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.serving.request import RequestRecord, RequestStatus
 
-__all__ = ["SLO", "ReplicaStats", "ScaleEvent", "ClusterMetrics", "summarize_cluster"]
+__all__ = [
+    "SLO",
+    "ReplicaStats",
+    "ScaleEvent",
+    "FaultCounters",
+    "ClusterMetrics",
+    "summarize_cluster",
+]
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
@@ -77,6 +84,24 @@ class ScaleEvent:
     n_active: int  # active replicas after the action
 
 
+@dataclass
+class FaultCounters:
+    """Running tally of injected faults and their recovery work.
+
+    Mutable: the simulator increments it during the run and freezes the
+    values into :class:`ClusterMetrics` at summary time.
+    """
+
+    crashes: int = 0
+    stalls: int = 0
+    timeouts: int = 0
+    #: Re-dispatches actually issued (a failed request's last eviction
+    #: consumes a retry but produces no dispatch).
+    redispatches: int = 0
+    #: Total scheduled replica downtime (crash durations).
+    downtime_s: float = 0.0
+
+
 @dataclass(frozen=True)
 class ClusterMetrics:
     """What a fleet operator reads off a cluster run."""
@@ -99,8 +124,38 @@ class ClusterMetrics:
     preemptions: int
     peak_replicas: int
     final_replicas: int
+    #: Requests whose retry budget ran out (terminal FAILED).
+    failed: int = 0
+    #: Fault-recovery re-dispatches summed over all requests.
+    retries: int = 0
+    #: Prompt tokens re-prefilled because a fault threw their KV away.
+    wasted_prefill_tokens: int = 0
+    #: Generated tokens lost to fault evictions.
+    wasted_decode_tokens: int = 0
+    crashes: int = 0
+    stalls: int = 0
+    timeouts: int = 0
+    #: Total scheduled replica downtime (seconds of replica-time lost).
+    downtime_s: float = 0.0
     replicas: Tuple[ReplicaStats, ...] = field(default=())
     scale_events: Tuple[ScaleEvent, ...] = field(default=())
+
+    @property
+    def failed_rate(self) -> float:
+        """Fraction of submitted requests that terminally failed."""
+        return self.failed / self.total if self.total else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of fleet time not lost to crash downtime.
+
+        Approximated against the run's makespan and final fleet size; a
+        coarse operator signal, not a per-replica uptime integral.
+        """
+        capacity = self.makespan * max(self.final_replicas, 1)
+        if capacity <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime_s / capacity)
 
     def as_dict(self) -> dict:
         return {
@@ -121,6 +176,16 @@ class ClusterMetrics:
             "final_replicas": self.final_replicas,
             "scale_ups": sum(1 for e in self.scale_events if e.action == "up"),
             "scale_downs": sum(1 for e in self.scale_events if e.action == "down"),
+            "failed": self.failed,
+            "failed_rate": self.failed_rate,
+            "retries": self.retries,
+            "wasted_prefill_tokens": self.wasted_prefill_tokens,
+            "wasted_decode_tokens": self.wasted_decode_tokens,
+            "crashes": self.crashes,
+            "stalls": self.stalls,
+            "timeouts": self.timeouts,
+            "downtime_s": self.downtime_s,
+            "availability": self.availability,
         }
 
 
@@ -132,9 +197,18 @@ def summarize_cluster(
     scale_events: Sequence[ScaleEvent] = (),
     peak_replicas: int = 0,
     final_replicas: int = 0,
+    failed_records: Sequence[RequestRecord] = (),
+    fault_counters: Optional[FaultCounters] = None,
 ) -> ClusterMetrics:
-    """Aggregate per-replica request records into fleet metrics."""
+    """Aggregate per-replica request records into fleet metrics.
+
+    ``failed_records`` are requests that exhausted their retry budget;
+    they live with the cluster (their last replica evicted them), count
+    toward ``total`` and the fault accounting, and never toward goodput.
+    """
+    counters = fault_counters if fault_counters is not None else FaultCounters()
     records = [r for recs in records_by_replica.values() for r in recs]
+    records += list(failed_records)
     finished = [r for r in records if r.status is RequestStatus.FINISHED]
     ttfts = [r.ttft for r in finished if r.ttft is not None]
     tpots = [r.tpot for r in finished if r.tpot is not None]
@@ -157,6 +231,14 @@ def summarize_cluster(
         preemptions=sum(r.preemptions for r in records),
         peak_replicas=peak_replicas,
         final_replicas=final_replicas,
+        failed=sum(1 for r in records if r.status is RequestStatus.FAILED),
+        retries=sum(r.retries for r in records),
+        wasted_prefill_tokens=sum(r.wasted_prefill_tokens for r in records),
+        wasted_decode_tokens=sum(r.wasted_decode_tokens for r in records),
+        crashes=counters.crashes,
+        stalls=counters.stalls,
+        timeouts=counters.timeouts,
+        downtime_s=counters.downtime_s,
         replicas=tuple(replica_stats),
         scale_events=tuple(scale_events),
     )

@@ -9,7 +9,7 @@ and the drain state the autoscaler manages.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.perf.attention_costs import MethodSpec
 from repro.perf.e2e import ModelGeometry
@@ -36,14 +36,58 @@ class Replica:
         #: Draining replicas accept no new dispatches; the autoscaler
         #: retires them once their admitted/queued work completes.
         self.draining = False
+        #: Crashed replicas are down: no dispatches, no stepping; the
+        #: fault layer restarts them (empty) once ``down_until`` passes.
+        self.crashed = False
+        self.down_until = 0.0
         #: Cluster time at which this replica joined the fleet.
         self.started_at = 0.0
 
+    # -- fault lifecycle ----------------------------------------------------
+    @property
+    def dispatchable(self) -> bool:
+        """Can the router hand this replica new work right now?"""
+        return not self.draining and not self.crashed
+
+    def crash(self, down_until: float) -> List[RequestRecord]:
+        """Kill the replica: all in-flight and queued KV state is lost.
+
+        Returns the evicted records (oldest admission first) for the
+        cluster to re-dispatch; finished-request history survives.
+        """
+        if self.crashed:
+            raise RuntimeError(f"replica {self.replica_id} is already down")
+        self.crashed = True
+        self.down_until = down_until
+        self.engine.time_scale = 1.0  # a restart clears any stall
+        return self.engine.evict_unfinished()
+
+    def recover(self, now: float) -> None:
+        """Restart after downtime: healthy, empty, clock caught up."""
+        self.crashed = False
+        self.engine.time_scale = 1.0
+        self.engine.advance_to(now)
+
+    def stall(self, slowdown: float) -> None:
+        """Enter straggler mode: steps take ``slowdown`` times longer."""
+        self.engine.time_scale = max(self.engine.time_scale, slowdown)
+
+    def clear_stall(self) -> None:
+        self.engine.time_scale = 1.0
+
     # -- engine delegation -------------------------------------------------
     def submit(self, request: Request) -> None:
+        self.submit_record(RequestRecord(request=request))
+
+    def submit_record(self, record: RequestRecord) -> None:
         if self.draining:
             raise RuntimeError(f"replica {self.replica_id} is draining")
-        self.engine.submit(request)
+        if self.crashed:
+            raise RuntimeError(f"replica {self.replica_id} is down (crashed)")
+        self.engine.submit_record(record)
+
+    def cancel(self, request_id: int):
+        return self.engine.cancel(request_id)
 
     def step(self) -> float:
         return self.engine.step()

@@ -21,6 +21,15 @@ from :class:`repro.cluster.replica.Replica`:
   replica (its KV prefix would be cache-resident there), spilling to the
   least-loaded replica only when the home queue exceeds
   ``spill_queue_depth``.
+
+Under fault injection the simulator hands every policy only the
+dispatchable replicas (neither draining nor crashed), so crash-recovery
+re-dispatches flow through the same ``choose`` call as fresh arrivals —
+a policy never needs to know whether a request is on its first or its
+fourth attempt.  Note ``affinity`` homes on ``session_id % len(replicas)``,
+so a fleet shrunk by a crash may re-home sessions until the replica
+recovers; that cache-warmth loss is part of the blast radius the fault
+harness measures.
 """
 
 from __future__ import annotations

@@ -1,36 +1,47 @@
 """Multi-replica cluster serving simulator.
 
 Composes N tensor-parallel :class:`~repro.cluster.replica.Replica` engines
-behind one router.  Time runs as a discrete-event loop over the shared
-arrival stream:
+behind one router.  Time runs as a discrete-event loop over a merged
+timeline of request arrivals, fault-injection events, recovery events,
+and retry re-dispatches:
 
-1. **Synchronise** — before dispatching the arrival at time ``t``, every
-   busy replica steps forward until its local clock reaches ``t`` (engine
+1. **Synchronise** — before handling the event at time ``t``, every busy
+   replica steps forward until its local clock reaches ``t`` (engine
    steps are atomic, so a replica may overshoot slightly — the same
    "decision reads state as of the last completed iteration" staleness a
    real router has); idle replicas jump their clocks to ``t``.
 2. **Autoscale** — the optional queue-depth controller may add a fresh
    replica or mark one draining (no new dispatches; it finishes what it
-   holds and retires when empty).
-3. **Route** — the policy picks an active replica from its load signals
-   and the request is submitted to that replica's FCFS queue.
-4. **Drain** — after the last arrival, replicas run to completion.
+   holds and retires when empty); a fleet that crashes below its floor is
+   topped back up immediately.
+3. **Handle the event** — arrivals and re-dispatches are routed to a
+   dispatchable replica; crash/stall faults hit a victim chosen by the
+   event's salt; recoveries bring replicas back; timeouts pull back
+   requests still waiting for their first token.
+4. **Drain** — after the last event, replicas run to completion.
 
-Every request is dispatched to exactly one replica and every replica's
-records are aggregated into the :class:`~repro.cluster.metrics.ClusterMetrics`,
-so conservation ("each request finishes exactly once") holds by
-construction and is asserted by the test suite from the returned data.
+Fault recovery (see :mod:`repro.cluster.faults`): a crash evicts every
+admitted and queued request on the victim; each evicted request is
+re-dispatched through the router after capped exponential backoff, its
+KV re-prefilled at real cost on the new replica.  A request whose retry
+budget is exhausted is recorded as ``FAILED`` — the run degrades, it
+never crashes or loses a request.  Every submitted request therefore
+terminates exactly once (completed or failed), which the test suite
+asserts from the returned data.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.faults import FaultConfig, FaultEvent, FaultInjector
 from repro.cluster.metrics import (
     SLO,
     ClusterMetrics,
+    FaultCounters,
     ReplicaStats,
     ScaleEvent,
     summarize_cluster,
@@ -41,9 +52,22 @@ from repro.perf.attention_costs import MethodSpec
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
 from repro.serving.engine import EngineConfig
-from repro.serving.request import Request
+from repro.serving.request import Request, RequestRecord
 
 __all__ = ["ClusterConfig", "ClusterSimulator"]
+
+# Same-instant events resolve in a fixed order so runs are reproducible:
+# replicas recover and stalls clear before new work is placed, faults
+# strike before dispatches (a request arriving "as" a replica dies never
+# lands on the corpse), and timeout checks run after everything else.
+_EVENT_ORDER = {
+    "recover": 0,
+    "stall_end": 1,
+    "fault": 2,
+    "arrival": 3,
+    "redispatch": 3,
+    "timeout": 4,
+}
 
 
 @dataclass(frozen=True)
@@ -58,6 +82,8 @@ class ClusterConfig:
     engine: EngineConfig = EngineConfig()
     #: ``None`` disables autoscaling (fixed fleet of ``n_replicas``).
     autoscaler: Optional[AutoscalerConfig] = None
+    #: ``None`` disables fault injection (the healthy-hardware baseline).
+    faults: Optional[FaultConfig] = None
     #: Global engine-iteration guard across the whole fleet.
     max_steps: int = 20_000_000
 
@@ -89,8 +115,13 @@ class ClusterSimulator:
             Autoscaler(config.autoscaler) if config.autoscaler is not None else None
         )
         self.scale_events: List[ScaleEvent] = []
+        self.fault_counters = FaultCounters()
+        self.failed: Dict[int, RequestRecord] = {}
         self.peak_replicas = config.n_replicas
         self._steps = 0
+        self._heap: List[Tuple[float, int, int, str, object]] = []
+        self._seq = 0
+        self._location: Dict[int, Replica] = {}
 
     # -- fleet management ---------------------------------------------------
     def _new_replica(self, replica_id: int) -> Replica:
@@ -100,7 +131,8 @@ class ClusterSimulator:
 
     @property
     def active_replicas(self) -> List[Replica]:
-        return [r for r in self.replicas if not r.draining]
+        """Replicas the fleet can count on: neither draining nor down."""
+        return [r for r in self.replicas if r.dispatchable]
 
     def _step_replica(self, replica: Replica) -> None:
         self._steps += 1
@@ -110,6 +142,8 @@ class ClusterSimulator:
 
     def _advance_fleet_to(self, t: float) -> None:
         for replica in self.replicas:
+            if replica.crashed:
+                continue  # a down replica holds no work and does not step
             while replica.busy and replica.clock < t:
                 self._step_replica(replica)
             replica.advance_to(t)
@@ -135,18 +169,112 @@ class ClusterSimulator:
                 ScaleEvent(time=now, action="down", n_active=len(self.active_replicas))
             )
 
+    # -- event plumbing ------------------------------------------------------
+    def _push(self, time: float, kind: str, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, _EVENT_ORDER[kind], self._seq, kind, payload))
+
+    # -- dispatch and recovery ----------------------------------------------
+    def _dispatch(self, record: RequestRecord, now: float) -> None:
+        targets = self.active_replicas
+        if not targets:
+            # Whole fleet is down/draining: park until the first recovery.
+            downed = [r for r in self.replicas if r.crashed]
+            if not downed:
+                raise RuntimeError("no replica can ever accept work (all draining)")
+            wake = max(min(r.down_until for r in downed), now)
+            self._push(wake, "redispatch", record)
+            return
+        target = self.router.choose(record.request, targets)
+        target.submit_record(record)
+        rid = record.request.request_id
+        self._location[rid] = target
+        faults = self.config.faults
+        if faults is not None and faults.request_timeout_s is not None:
+            # The deadline is armed per dispatch; record.retries is the
+            # dispatch epoch, so deadlines from superseded dispatches are
+            # recognised as stale when they fire.
+            self._push(
+                now + faults.request_timeout_s,
+                "timeout",
+                (record, record.retries),
+            )
+
+    def _retry_or_fail(self, record: RequestRecord, now: float) -> None:
+        faults = self.config.faults
+        record.reset_for_retry()
+        self._location.pop(record.request.request_id, None)
+        if record.retries > faults.max_retries:
+            record.mark_failed(now)
+            self.failed[record.request.request_id] = record
+            return
+        self.fault_counters.redispatches += 1
+        self._push(now + faults.backoff(record.retries), "redispatch", record)
+
+    def _apply_fault(self, event: FaultEvent, now: float) -> None:
+        candidates = [r for r in self.replicas if not r.crashed]
+        if not candidates:
+            return  # the whole fleet is already down; the fault is moot
+        victim = candidates[event.salt % len(candidates)]
+        if event.kind == "crash":
+            self.fault_counters.crashes += 1
+            self.fault_counters.downtime_s += event.duration_s
+            evicted = victim.crash(down_until=now + event.duration_s)
+            self._push(now + event.duration_s, "recover", victim)
+            for record in evicted:
+                self._retry_or_fail(record, now)
+        elif event.kind == "stall":
+            self.fault_counters.stalls += 1
+            victim.stall(event.slowdown)
+            self._push(now + event.duration_s, "stall_end", victim)
+        else:  # pragma: no cover - schedule generation only emits the above
+            raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    def _handle_timeout(self, payload, now: float) -> None:
+        record, epoch = payload
+        rid = record.request.request_id
+        # Stale if the request terminated, was re-dispatched since the
+        # deadline was armed, or already started streaming tokens.
+        if record.retries != epoch or record.first_token_at is not None:
+            return
+        replica = self._location.get(rid)
+        if replica is None or replica.cancel(rid) is None:
+            return
+        self.fault_counters.timeouts += 1
+        self._retry_or_fail(record, now)
+
     # -- simulation ----------------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ClusterMetrics:
         arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         for request in arrivals:
-            t = request.arrival_time
+            self._push(request.arrival_time, "arrival", request)
+        if self.config.faults is not None and arrivals:
+            horizon = arrivals[-1].arrival_time + self.config.faults.horizon_pad_s
+            for event in FaultInjector(self.config.faults).schedule(horizon):
+                self._push(event.time, "fault", event)
+
+        while self._heap:
+            t, _, _, kind, payload = heapq.heappop(self._heap)
             self._advance_fleet_to(t)
             self._autoscale(t)
-            target = self.router.choose(request, self.active_replicas)
-            target.submit(request)
+            if kind == "arrival":
+                self._dispatch(RequestRecord(request=payload), t)
+            elif kind == "redispatch":
+                self._dispatch(payload, t)
+            elif kind == "fault":
+                self._apply_fault(payload, t)
+            elif kind == "recover":
+                payload.recover(t)
+            elif kind == "stall_end":
+                payload.clear_stall()
+            elif kind == "timeout":
+                self._handle_timeout(payload, t)
 
-        # Drain: run every replica to completion.
+        # Drain: run every surviving replica to completion.  A replica
+        # still down here lost its work to _retry_or_fail already.
         for replica in self.replicas:
+            if replica.crashed:
+                continue
             while replica.busy:
                 self._step_replica(replica)
 
@@ -176,4 +304,6 @@ class ClusterSimulator:
             scale_events=self.scale_events,
             peak_replicas=self.peak_replicas,
             final_replicas=len(self.active_replicas),
+            failed_records=list(self.failed.values()),
+            fault_counters=self.fault_counters,
         )

@@ -14,6 +14,7 @@ import time
 from repro.harness import (
     ablations,
     cluster,
+    faults,
     needle,
     serving_sim,
     fig1,
@@ -46,6 +47,7 @@ RUNNERS = {
     "ablations": ablations,
     "serving": serving_sim,
     "cluster": cluster,
+    "faults": faults,
     "needle": needle,
 }
 

@@ -43,7 +43,12 @@ from repro.perf.gpu import A100_80GB, GPUSpec
 from repro.perf.tp import replica_kv_budget, tp_step_latency
 from repro.serving.allocator import PagedKVAllocator
 from repro.serving.metrics import ServingMetrics, summarize
-from repro.serving.request import Request, RequestRecord, RequestStatus
+from repro.serving.request import (
+    Request,
+    RequestRecord,
+    RequestStatus,
+    TERMINAL_STATUSES,
+)
 
 __all__ = ["EngineConfig", "ServingEngine"]
 
@@ -96,6 +101,10 @@ class ServingEngine:
             model, method, budget_bytes=budget, block_tokens=config.block_tokens,
             paper_harness=config.paper_harness_memory,
         )
+        #: External slowdown factor on every step's latency (fault
+        #: injection models stragglers this way).  1.0 = healthy; it is a
+        #: hardware condition, not run state, so :meth:`start` keeps it.
+        self.time_scale = 1.0
         self.start()
 
     # -- latency helpers ------------------------------------------------------
@@ -126,10 +135,48 @@ class ServingEngine:
 
     def submit(self, request: Request) -> None:
         """Enqueue one request (FCFS tail).  The caller owns arrival timing."""
-        if request.request_id in self.records:
-            raise ValueError(f"duplicate request_id {request.request_id}")
-        self.records[request.request_id] = RequestRecord(request=request)
-        self.waiting.append(request.request_id)
+        self.submit_record(RequestRecord(request=request))
+
+    def submit_record(self, record: RequestRecord) -> None:
+        """Enqueue an existing record — the fault-recovery re-dispatch path,
+        where retry/waste accounting must survive the move across replicas."""
+        rid = record.request.request_id
+        if rid in self.records:
+            raise ValueError(f"duplicate request_id {rid}")
+        self.records[rid] = record
+        self.waiting.append(rid)
+
+    def cancel(self, request_id: int) -> Optional[RequestRecord]:
+        """Pull one unfinished request off the engine (timeout eviction).
+
+        Frees its KV blocks and removes the record entirely; returns the
+        record so the caller can retry it elsewhere, or ``None`` if the
+        request is unknown or already terminal.
+        """
+        record = self.records.get(request_id)
+        if record is None or record.status in TERMINAL_STATUSES:
+            return None
+        self.allocator.release(request_id)
+        if request_id in self.running:
+            self.running.remove(request_id)
+        if request_id in self.waiting:
+            self.waiting.remove(request_id)
+        return self.records.pop(request_id)
+
+    def evict_unfinished(self) -> List[RequestRecord]:
+        """Crash: drop every admitted/queued request and its KV state.
+
+        Records of finished requests stay (history survives a process
+        restart in the operator's logs); everything in flight is returned,
+        oldest admission first, for the caller to re-dispatch.
+        """
+        evicted: List[RequestRecord] = []
+        for rid in list(self.running) + list(self.waiting):
+            self.allocator.release(rid)
+            evicted.append(self.records.pop(rid))
+        self.running.clear()
+        self.waiting.clear()
+        return evicted
 
     @property
     def busy(self) -> bool:
@@ -227,6 +274,7 @@ class ServingEngine:
             # Nothing processable (all prefilling under chunking with
             # zero-size chunks cannot happen; guard anyway).
             step_time = 1e-6
+        step_time *= self.time_scale
         self.clock += step_time
 
         # Token bookkeeping + cache growth (with preemption on OOM).

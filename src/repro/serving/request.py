@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Request", "RequestStatus", "RequestRecord"]
+__all__ = ["Request", "RequestStatus", "TERMINAL_STATUSES", "RequestRecord"]
 
 
 class RequestStatus(enum.Enum):
@@ -14,6 +14,13 @@ class RequestStatus(enum.Enum):
     PREFILLING = "prefilling"  # admitted; prompt partially processed
     RUNNING = "running"
     FINISHED = "finished"
+    #: Terminal failure: the retry budget ran out (crash/timeout recovery
+    #: gave up).  Counted against availability, never against goodput.
+    FAILED = "failed"
+
+
+#: Statuses from which a record never leaves.
+TERMINAL_STATUSES = frozenset({RequestStatus.FINISHED, RequestStatus.FAILED})
 
 
 @dataclass(frozen=True)
@@ -51,6 +58,16 @@ class RequestRecord:
     first_token_at: Optional[float] = None
     finished_at: Optional[float] = None
     preemptions: int = 0
+    #: Fault-recovery dispatches: incremented every time the request is
+    #: pulled off a replica (crash, timeout) and sent back to the router.
+    retries: int = 0
+    #: Cluster time the retry budget ran out (status FAILED).
+    failed_at: Optional[float] = None
+    #: Prompt tokens whose prefill work was thrown away by fault evictions
+    #: (they are re-prefilled, at real cost, on the next replica).
+    wasted_prefill_tokens: int = 0
+    #: Generated tokens lost to fault evictions (regenerated after retry).
+    wasted_decode_tokens: int = 0
 
     @property
     def context_len(self) -> int:
@@ -85,3 +102,20 @@ class RequestRecord:
         self.admitted_at = None
         self.first_token_at = None
         self.preemptions += 1
+
+    def reset_for_retry(self) -> None:
+        """Fault eviction: like a preemption, but the lost work is charged
+        to the fault accounting and the retry budget instead."""
+        self.wasted_prefill_tokens += self.prefilled
+        self.wasted_decode_tokens += self.generated
+        self.status = RequestStatus.WAITING
+        self.generated = 0
+        self.prefilled = 0
+        self.admitted_at = None
+        self.first_token_at = None
+        self.retries += 1
+
+    def mark_failed(self, now: float) -> None:
+        """Terminal failure after the retry budget is exhausted."""
+        self.status = RequestStatus.FAILED
+        self.failed_at = now

@@ -9,6 +9,8 @@ from repro.cluster import (
     Autoscaler,
     ClusterConfig,
     ClusterSimulator,
+    FaultConfig,
+    FaultInjector,
     ROUTER_POLICIES,
     Replica,
     make_router,
@@ -325,3 +327,254 @@ class TestClusterSimulator:
         replica.draining = True
         with pytest.raises(RuntimeError):
             replica.submit(Request(0, 0.0, 128, 8))
+
+
+FAULTS = FaultConfig(
+    seed=3, crash_rate=0.05, stall_rate=0.05,
+    crash_downtime_s=8.0, stall_duration_s=6.0, stall_slowdown=4.0,
+    request_timeout_s=45.0, max_retries=3, horizon_pad_s=15.0,
+)
+
+
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(FAULTS).schedule(120.0)
+        b = FaultInjector(FAULTS).schedule(120.0)
+        assert a == b and len(a) > 0
+
+    def test_different_seeds_differ(self):
+        from dataclasses import replace as dreplace
+
+        a = FaultInjector(FAULTS).schedule(120.0)
+        b = FaultInjector(dreplace(FAULTS, seed=FAULTS.seed + 1)).schedule(120.0)
+        assert a != b
+
+    def test_kinds_have_independent_streams(self):
+        """Silencing one fault kind leaves the other kind's timeline intact."""
+        from dataclasses import replace as dreplace
+
+        both = FaultInjector(FAULTS).schedule(120.0)
+        only_crash = FaultInjector(dreplace(FAULTS, stall_rate=0.0)).schedule(120.0)
+        assert only_crash == [e for e in both if e.kind == "crash"]
+
+    def test_schedule_respects_horizon_and_order(self):
+        events = FaultInjector(FAULTS).schedule(80.0)
+        assert all(0.0 < e.time < 80.0 for e in events)
+        assert [e.time for e in events] == sorted(e.time for e in events)
+        assert {e.kind for e in events} <= {"crash", "stall"}
+
+    def test_zero_rates_mean_no_faults(self):
+        assert FaultInjector(FaultConfig(seed=1)).schedule(1e4) == []
+
+    def test_backoff_is_capped_exponential(self):
+        cfg = FaultConfig(backoff_base_s=0.5, backoff_cap_s=4.0)
+        assert [cfg.backoff(k) for k in (1, 2, 3, 4, 5)] == [
+            0.5, 1.0, 2.0, 4.0, 4.0
+        ]
+        with pytest.raises(ValueError):
+            cfg.backoff(0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(crash_rate=-1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(stall_slowdown=0.5)
+        with pytest.raises(ValueError):
+            FaultConfig(request_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            FaultConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(backoff_base_s=2.0, backoff_cap_s=1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(crash_downtime_s=0.0)
+
+
+class TestReplicaFaults:
+    def _replica(self, model):
+        return Replica(0, model, METHODS["turbo_mixed"], EngineConfig())
+
+    def test_crash_evicts_everything(self, model):
+        replica = self._replica(model)
+        for i in range(4):
+            replica.submit(Request(i, 0.0, 512, 32))
+        replica.step()  # admit some into the running batch
+        evicted = replica.crash(down_until=10.0)
+        assert {rec.request.request_id for rec in evicted} == {0, 1, 2, 3}
+        assert replica.crashed and not replica.dispatchable
+        assert not replica.busy and not replica.records
+        with pytest.raises(RuntimeError):
+            replica.submit(Request(9, 0.0, 128, 8))
+        with pytest.raises(RuntimeError):
+            replica.crash(down_until=20.0)  # already down
+
+    def test_recover_restores_service_at_now(self, model):
+        replica = self._replica(model)
+        replica.crash(down_until=10.0)
+        replica.recover(10.0)
+        assert replica.dispatchable and replica.clock == 10.0
+        replica.submit(Request(0, 10.0, 128, 8))
+        while replica.busy:
+            replica.step()
+        assert replica.records[0].status is RequestStatus.FINISHED
+
+    def test_stall_slows_steps_until_cleared(self, model):
+        def makespan(stalled):
+            replica = self._replica(model)
+            if stalled:
+                replica.stall(4.0)
+            replica.submit(Request(0, 0.0, 1024, 32))
+            while replica.busy:
+                replica.step()
+            return replica.clock
+
+        slow, fast = makespan(True), makespan(False)
+        assert slow == pytest.approx(4.0 * fast)
+
+        replica = self._replica(model)
+        replica.stall(4.0)
+        replica.clear_stall()
+        replica.submit(Request(0, 0.0, 1024, 32))
+        while replica.busy:
+            replica.step()
+        assert replica.clock == pytest.approx(fast)
+
+    def test_stalls_do_not_stack_downwards(self, model):
+        """A second, milder stall never speeds up an already-stalled replica."""
+        replica = self._replica(model)
+        replica.stall(4.0)
+        replica.stall(2.0)
+        assert replica.engine.time_scale == 4.0
+
+    def test_cancel_returns_record_and_frees_kv(self, model):
+        replica = self._replica(model)
+        replica.submit(Request(0, 0.0, 512, 32))
+        replica.step()
+        rec = replica.cancel(0)
+        assert rec is not None and rec.request.request_id == 0
+        assert not replica.busy and not replica.records
+        assert replica.cancel(0) is None  # unknown rid now
+
+
+class TestClusterFaults:
+    def test_conservation_matrix(self, model):
+        """Every policy x autoscaler x fault schedule terminates every
+        request exactly once — completed on one replica or failed."""
+        wl = bursty_workload(n=30)
+        scaler = AutoscalerConfig(min_replicas=2, max_replicas=4)
+        for policy in ROUTER_POLICIES:
+            for autoscaler in (None, scaler):
+                for faults in (None, FAULTS):
+                    sim = ClusterSimulator(
+                        model, METHODS["turbo_mixed"],
+                        ClusterConfig(
+                            n_replicas=2, policy=policy,
+                            autoscaler=autoscaler, faults=faults,
+                        ),
+                    )
+                    m = sim.run(wl)
+                    label = f"{policy}/scale={bool(autoscaler)}/faults={bool(faults)}"
+                    seen = dict(sim.failed)
+                    for replica in sim.replicas:
+                        for rid, rec in replica.records.items():
+                            assert rid not in seen, f"{label}: rid {rid} twice"
+                            seen[rid] = rec
+                    assert set(seen) == {r.request_id for r in wl}, label
+                    for rec in seen.values():
+                        assert rec.status in (
+                            RequestStatus.FINISHED, RequestStatus.FAILED
+                        ), label
+                    assert m.completed + m.failed == m.total == len(wl), label
+                    if faults is None:
+                        assert m.failed == 0 and m.retries == 0, label
+                        assert m.crashes == m.stalls == m.timeouts == 0, label
+
+    def test_crashes_cost_retries_and_reprefill(self, model):
+        m = ClusterSimulator(
+            model, METHODS["turbo_mixed"],
+            ClusterConfig(n_replicas=2, policy="least_kv", faults=FAULTS),
+        ).run(bursty_workload(n=40))
+        assert m.crashes > 0
+        assert m.retries > 0
+        assert m.wasted_prefill_tokens > 0
+        assert m.downtime_s == pytest.approx(m.crashes * FAULTS.crash_downtime_s)
+        assert 0.0 < m.availability < 1.0
+
+    def test_healthy_run_reports_full_availability(self, model):
+        m = ClusterSimulator(
+            model, METHODS["turbo_mixed"], ClusterConfig(n_replicas=2)
+        ).run(bursty_workload(n=20))
+        assert m.availability == 1.0 and m.failed_rate == 0.0
+
+    def test_exhausted_retry_budget_fails_requests(self, model):
+        """A zero-retry budget under heavy crashes converts evictions into
+        FAILED requests instead of crashing or hanging the run."""
+        harsh = FaultConfig(
+            seed=5, crash_rate=0.2, crash_downtime_s=20.0,
+            request_timeout_s=5.0, max_retries=0, horizon_pad_s=30.0,
+        )
+        sim = ClusterSimulator(
+            model, METHODS["turbo_mixed"],
+            ClusterConfig(n_replicas=2, policy="least_kv", faults=harsh),
+        )
+        m = sim.run(bursty_workload(n=30))
+        assert m.failed > 0
+        assert m.completed + m.failed == m.total == 30
+        for rec in sim.failed.values():
+            assert rec.status is RequestStatus.FAILED
+            assert rec.retries > harsh.max_retries
+            assert rec.failed_at is not None
+
+    def test_timeouts_pull_back_stuck_requests(self, model):
+        """A tight TTFT deadline fires timeouts; a loose one never does."""
+        from dataclasses import replace as dreplace
+
+        wl = bursty_workload(n=30)
+        tight = dreplace(FAULTS, request_timeout_s=4.0, max_retries=8)
+        loose = dreplace(FAULTS, request_timeout_s=1e6)
+
+        def run(faults):
+            return ClusterSimulator(
+                model, METHODS["fp16"],
+                ClusterConfig(n_replicas=2, policy="least_kv", faults=faults),
+            ).run(wl)
+
+        assert run(tight).timeouts > 0
+        assert run(loose).timeouts == 0
+
+    def test_autoscaler_replaces_crashed_replicas(self, model):
+        """A fleet crashed below its floor is topped back up immediately,
+        cooldown notwithstanding."""
+        scaler = Autoscaler(AutoscalerConfig(min_replicas=2, cooldown_s=1e9))
+        replicas = [
+            Replica(i, model, METHODS["turbo_mixed"], EngineConfig())
+            for i in range(2)
+        ]
+        assert scaler.decide(0.0, replicas) is None  # healthy: no action
+        assert scaler.decide(1.0, replicas[:1]) == "up"  # below floor
+        assert scaler.decide(2.0, replicas[:1]) == "up"  # still, despite cooldown
+
+    def test_cluster_heals_through_autoscaler(self, model):
+        cfg = ClusterConfig(
+            n_replicas=2, policy="least_kv",
+            autoscaler=AutoscalerConfig(min_replicas=2, max_replicas=5),
+            faults=FAULTS,
+        )
+        sim = ClusterSimulator(model, METHODS["turbo_mixed"], cfg)
+        m = sim.run(bursty_workload(n=40))
+        assert m.crashes > 0
+        assert any(e.action == "up" for e in m.scale_events)
+        assert m.completed + m.failed == m.total
+
+    def test_fault_metrics_round_trip_as_dict(self, model):
+        m = ClusterSimulator(
+            model, METHODS["turbo_mixed"],
+            ClusterConfig(n_replicas=2, faults=FAULTS),
+        ).run(bursty_workload(n=20))
+        d = m.as_dict()
+        for key in (
+            "failed", "failed_rate", "retries", "wasted_prefill_tokens",
+            "wasted_decode_tokens", "crashes", "stalls", "timeouts",
+            "downtime_s", "availability",
+        ):
+            assert key in d
+        assert d["failed"] + d["completed"] == d["total"]

@@ -61,6 +61,13 @@ class TestExamples:
         assert "Load-aware routing" in out
         assert "worth GPUs" in out
 
+    def test_fault_tolerance_small(self, capsys):
+        _run("fault_tolerance.py", ["--requests", "20", "--rate", "5"])
+        out = capsys.readouterr().out
+        assert "seeded fault timeline" in out
+        assert "Retry budget sweep" in out
+        assert "identical fault schedule" in out
+
     def test_headwise_tuning(self, capsys):
         _run("headwise_tuning.py")
         out = capsys.readouterr().out

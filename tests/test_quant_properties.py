@@ -1,0 +1,194 @@
+"""Property tests: quantization round-trips stay inside the analytic bounds.
+
+Seeded, generator-driven versions of the paper's losslessness claims:
+
+* ``dequant(quant(x))`` never strays further from ``x`` than the
+  deterministic bounds in :mod:`repro.quant.bounds` predict, at INT8,
+  INT4 and INT2, for both symmetric and asymmetric schemes and for the
+  full progressive (BPQ) pipeline.
+* Progressive compress -> decompress is **exactly** idempotent on tiles
+  that already sit on the stage-2 grid (one decompressed tile
+  re-compresses to the identical block), and on arbitrary tiles the
+  iterated round-trip reaches such a fixed point in a few steps — the
+  property that makes re-compression of cached tiles safe.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant.bounds import progressive_bound, symmetric_bound
+from repro.quant.progressive import (
+    pq_compress,
+    pq_decompress_to_int8,
+    pq_dequantize,
+)
+from repro.quant.schemes import (
+    TURBO_INT8_MAX_CODE,
+    dequantize_asymmetric,
+    dequantize_symmetric,
+    int_range,
+    quantize_asymmetric,
+    quantize_symmetric,
+)
+
+BITS = (2, 4, 8)
+
+
+def tile(seed, shape=(16, 32), spread=4.0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, spread, size=shape) * rng.lognormal(0.0, 1.0)
+
+
+class TestSymmetricRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(BITS))
+    def test_error_within_bound(self, seed, bits):
+        x = tile(seed)
+        codes, scale = quantize_symmetric(x, bits=bits, axis=-1)
+        err = np.abs(x - dequantize_symmetric(codes, scale))
+        assert np.all(err <= symmetric_bound(scale) + 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(BITS))
+    def test_codes_in_restricted_range(self, seed, bits):
+        codes, _ = quantize_symmetric(tile(seed), bits=bits, axis=-1)
+        lo, hi = int_range(bits, symmetric=True)
+        assert codes.min() >= lo and codes.max() <= hi
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(BITS))
+    def test_round_trip_is_idempotent_under_reused_scale(self, seed, bits):
+        """Quantizing a reconstruction with the same scale is exact: the
+        reconstruction already lies on the code grid."""
+        x = tile(seed)
+        codes, scale = quantize_symmetric(x, bits=bits, axis=-1)
+        x_hat = dequantize_symmetric(codes, scale)
+        codes2, _ = quantize_symmetric(x_hat, bits=bits, scale=scale)
+        np.testing.assert_array_equal(codes, codes2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_paper_int8_stage_uses_119(self, seed):
+        x = tile(seed)
+        codes, scale = quantize_symmetric(
+            x, bits=8, max_code=TURBO_INT8_MAX_CODE
+        )
+        assert np.abs(codes).max() <= TURBO_INT8_MAX_CODE
+        assert np.all(
+            np.abs(x - dequantize_symmetric(codes, scale))
+            <= symmetric_bound(scale) + 1e-12
+        )
+
+
+class TestAsymmetricRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(BITS))
+    def test_error_within_half_step(self, seed, bits):
+        x = tile(seed)
+        codes, scale, zero = quantize_asymmetric(x, bits=bits, axis=-2)
+        err = np.abs(x - dequantize_asymmetric(codes, scale, zero))
+        assert np.all(err <= scale / 2.0 + 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from(BITS))
+    def test_codes_unsigned_full_range(self, seed, bits):
+        codes, _, _ = quantize_asymmetric(tile(seed), bits=bits, axis=-2)
+        lo, hi = int_range(bits, symmetric=False)
+        assert codes.min() >= lo and codes.max() <= hi
+        # Each channel's extrema land on the range ends (tight fit).
+        assert np.all(codes.min(axis=-2) == 0)
+        assert np.all(codes.max(axis=-2) == hi)
+
+
+class TestProgressiveRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from((2, 4)))
+    def test_float_error_within_progressive_bound(self, seed, bits):
+        x = tile(seed)
+        q1, scale = quantize_symmetric(x, bits=8, max_code=TURBO_INT8_MAX_CODE)
+        block = pq_compress(q1, bits=bits, float_scale=scale)
+        int8_range = q1.astype(np.int32).max(axis=-2, keepdims=True) - q1.astype(
+            np.int32
+        ).min(axis=-2, keepdims=True)
+        bound = progressive_bound(scale, int8_range, bits)
+        err = np.abs(x - pq_dequantize(block))
+        assert np.all(err <= bound + 1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from((2, 4)))
+    def test_int8_code_error_within_one_scale_step(self, seed, bits):
+        """In INT8-code units the stage-2 error is at most ``s_int``:
+        half a step of code rounding plus half a step of zero-point
+        rounding."""
+        q1, scale = quantize_symmetric(
+            tile(seed), bits=8, max_code=TURBO_INT8_MAX_CODE
+        )
+        block = pq_compress(q1, bits=bits, float_scale=scale)
+        err = np.abs(
+            q1.astype(np.int32) - pq_decompress_to_int8(block).astype(np.int32)
+        )
+        assert np.all(err <= block.s_int.astype(np.int32))
+
+
+def grid_tile(seed, bits, tokens=16, channels=8):
+    """A tile of INT8 codes that lies exactly on a stage-2 grid.
+
+    Every channel spans the full unsigned code range ``[0, 2^bits - 1]``
+    with integer scale ``s`` and zero-point ``z``, so re-compression must
+    recover ``(s, z)`` and the codes verbatim.
+    """
+    rng = np.random.default_rng(seed)
+    hi = 2**bits - 1
+    s = rng.integers(1, max(127 // (2 * hi), 1) + 1, size=(1, channels))
+    z = rng.integers(-hi, hi + 1, size=(1, channels))
+    codes = rng.integers(0, hi + 1, size=(tokens, channels))
+    codes[0, :] = 0  # pin the channel extrema so the range is exactly
+    codes[1, :] = hi  # hi * s and the recomputed scale is exactly s
+    q1 = (codes + z) * s
+    assert np.abs(q1).max() <= 127
+    return q1, codes, s, z
+
+
+class TestProgressiveIdempotence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from((2, 4)))
+    def test_exact_on_grid_aligned_tiles(self, seed, bits):
+        q1, codes, s, z = grid_tile(seed, bits)
+        scale = np.float64(1.0)
+        block = pq_compress(q1, bits=bits, float_scale=scale)
+        np.testing.assert_array_equal(block.codes, codes)
+        np.testing.assert_array_equal(block.s_int.astype(np.int64), s)
+        np.testing.assert_array_equal(block.z_int.astype(np.int64), z)
+        # Decompression is exact, so compress o decompress is identity...
+        d1 = pq_decompress_to_int8(block)
+        np.testing.assert_array_equal(d1.astype(np.int64), q1)
+        # ...and a second round trip reproduces the block bit-for-bit.
+        block2 = pq_compress(d1, bits=bits, float_scale=scale)
+        np.testing.assert_array_equal(block.codes, block2.codes)
+        np.testing.assert_array_equal(block.s_int, block2.s_int)
+        np.testing.assert_array_equal(block.z_int, block2.z_int)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.sampled_from((2, 4)))
+    def test_arbitrary_tiles_reach_a_fixed_point(self, seed, bits):
+        """Re-compressing a decompressed tile can shift it (the channel
+        range shrinks, so the grid moves), but the iteration contracts:
+        within a few round trips the tile lands on a grid and stays."""
+        rng = np.random.default_rng(seed)
+        q = rng.integers(-119, 120, size=(16, 8)).astype(np.int32)
+        scale = np.float64(1.0)
+        for _ in range(32):
+            nxt = pq_decompress_to_int8(
+                pq_compress(q, bits=bits, float_scale=scale)
+            ).astype(np.int32)
+            if np.array_equal(nxt, q):
+                break
+            q = nxt
+        else:
+            pytest.fail("progressive round-trip did not reach a fixed point")
+        # The fixed point really is fixed.
+        again = pq_decompress_to_int8(
+            pq_compress(q, bits=bits, float_scale=scale)
+        ).astype(np.int32)
+        np.testing.assert_array_equal(again, q)

@@ -14,7 +14,7 @@ class TestRegistry:
         assert expected <= set(RUNNERS)
 
     def test_extensions_registered(self):
-        assert {"ablations", "serving", "needle"} <= set(RUNNERS)
+        assert {"ablations", "serving", "cluster", "faults", "needle"} <= set(RUNNERS)
 
     def test_runners_expose_interface(self):
         for mod in RUNNERS.values():

@@ -1,0 +1,88 @@
+"""Golden regression for SAS: pin the paper's constants and error floor.
+
+The accuracy results downstream (Table 2, Figure 5, every harness using
+``sas_softmax``) all rest on three numbers: the degree-3 polynomial of
+Eq. 15, the LUT depth implied by the threshold ``n_r = -6``, and the
+resulting uniform error of LUT x POLY against ``e^x``.  These tests pin
+them to literal golden values so an accidental refit, a changed
+threshold, or a silent LUT edit shows up as a loud diff, not as a slow
+drift in accuracy tables.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quant.bounds import sas_bound
+from repro.sas.lut import ExpLUT
+from repro.sas.poly import PAPER_POLY_COEFFS, poly_eval, poly_max_error
+from repro.sas.softmax import SAS, SASConfig
+
+#: Measured max |SAS(x) - e^x| over the active range [-6, 0] for the
+#: paper's coefficients; exactly the polynomial fit error (the LUT factor
+#: e^{-i} is exact), and well inside the analytic sas_bound.
+GOLDEN_MAX_ERROR = 4.0e-4
+
+
+class TestPaperConstants:
+    def test_coefficients_pinned_exactly(self):
+        """Eq. 15, highest degree first.  These are published constants:
+        any change is a semantic change, not a refactor."""
+        assert PAPER_POLY_COEFFS == (-0.1025, 0.4626, -0.9922, 0.9996)
+
+    def test_threshold_default_pinned(self):
+        assert SASConfig().threshold == -6
+        assert ExpLUT().threshold == -6
+
+    def test_poly_endpoint_values_pinned(self):
+        # POLY(0) is the constant term; POLY(1) is the coefficient sum.
+        assert poly_eval(np.array([0.0]), PAPER_POLY_COEFFS)[0] == 0.9996
+        assert poly_eval(np.array([1.0]), PAPER_POLY_COEFFS)[0] == pytest.approx(
+            sum(PAPER_POLY_COEFFS), abs=1e-15
+        )
+
+    def test_lut_is_exact_exp_table_with_sentinel(self):
+        lut = ExpLUT(threshold=-6)
+        assert len(lut) == 8  # e^0 .. e^-6 plus the zero sentinel
+        np.testing.assert_array_equal(
+            lut.table, np.append(np.exp(-np.arange(7.0)), 0.0)
+        )
+
+
+class TestGoldenError:
+    def test_max_error_on_active_range_pinned(self):
+        """LUT x POLY vs math.exp on a dense [-6, 0] grid: the measured
+        worst case equals the polynomial fit error and must not regress
+        past the pinned golden value."""
+        sas = SAS()
+        xs = np.linspace(-6.0, 0.0, 100_001)
+        exact = np.array([math.exp(float(x)) for x in xs[:: 1000]])
+        approx = sas(xs[:: 1000])
+        assert np.max(np.abs(approx - exact)) <= GOLDEN_MAX_ERROR
+        assert sas.max_abs_error() == pytest.approx(GOLDEN_MAX_ERROR, abs=1e-9)
+        assert poly_max_error(PAPER_POLY_COEFFS) == pytest.approx(
+            GOLDEN_MAX_ERROR, abs=1e-9
+        )
+
+    def test_measured_error_inside_analytic_bound(self):
+        assert SAS().max_abs_error() < sas_bound(-6)
+        # And the bound itself decomposes as fit error + truncated tail.
+        assert sas_bound(-6) == pytest.approx(
+            poly_max_error(PAPER_POLY_COEFFS) + math.exp(-6), abs=1e-12
+        )
+
+    def test_fp16_emulation_error_stays_sub_millinat(self):
+        assert SAS(SASConfig(emulate_fp16=True)).max_abs_error() < 1e-3
+
+
+class TestExactZeroing:
+    def test_below_threshold_is_exactly_zero(self):
+        sas = SAS()
+        xs = np.array([-6.0 - 1e-9, -6.5, -20.0, -1e6, -np.inf])
+        np.testing.assert_array_equal(sas(xs), np.zeros_like(xs))
+
+    def test_threshold_itself_is_active(self):
+        out = SAS()(np.array([-6.0]))[0]
+        assert out > 0.0
+        assert out == pytest.approx(math.exp(-6.0), abs=GOLDEN_MAX_ERROR)
