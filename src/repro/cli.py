@@ -6,6 +6,7 @@
     python -m repro serve   --rate 6 --requests 60 --method turbo_mixed
     python -m repro cluster --replicas 4 --policy least_kv --method turbo_mixed
     python -m repro cluster --faults --crash-rate 0.05 --timeout 30 --autoscale
+    python -m repro guard   --quick
     python -m repro harness table2 fig6 --quick
 
 Everything the CLI prints is produced by the same library calls the tests
@@ -189,6 +190,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_guard(args: argparse.Namespace) -> int:
+    from repro.harness.guard import main as guard_main
+
+    guard_main(quick=args.quick)
+    return 0
+
+
 def _cmd_harness(args: argparse.Namespace) -> int:
     from repro.harness.run_all import main as run_all_main
 
@@ -266,6 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--max-retries", type=int, default=3,
                            help="re-dispatch budget before a request FAILs")
     p_cluster.set_defaults(fn=_cmd_cluster)
+
+    p_g = sub.add_parser(
+        "guard",
+        help="numerics-guard demo: chaos persistence matrix + precision "
+             "escalation vs the analytic attention bound",
+    )
+    p_g.add_argument("--quick", action="store_true")
+    p_g.set_defaults(fn=_cmd_guard)
 
     p_h = sub.add_parser("harness", help="run table/figure regenerators")
     p_h.add_argument("names", nargs="*", help="subset (default: all)")

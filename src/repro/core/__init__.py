@@ -26,7 +26,14 @@ from repro.core.buffer import DecodeBuffer
 from repro.core.prefill import turbo_prefill
 from repro.core.decode import turbo_decode_step, turbo_decode_step_split_k
 from repro.core.turbo import TurboAttention, TurboKVState
-from repro.core.serialization import save_state, load_state, state_to_arrays, state_from_arrays
+from repro.core.serialization import (
+    SalvageResult,
+    load_state,
+    salvage_state,
+    save_state,
+    state_from_arrays,
+    state_to_arrays,
+)
 
 __all__ = [
     "TurboConfig",
@@ -45,4 +52,6 @@ __all__ = [
     "load_state",
     "state_to_arrays",
     "state_from_arrays",
+    "salvage_state",
+    "SalvageResult",
 ]

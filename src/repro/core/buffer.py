@@ -10,11 +10,20 @@ cleared.
 The contrast with KIVI/GEAR, which keep their residual window in FP16, is
 what lets TurboAttention run the *entire* decode attention in integer
 arithmetic (and is charged accordingly in the performance model).
+
+Because the frozen scale is the pipeline's one open-loop assumption (a
+decode stream hotter than the prefill silently saturates the clamp), the
+buffer keeps per-head saturation accounting: ``clamped_total`` is the
+monotone lifetime count, and per-flush-window clamp fractions plus the
+window's observed absmax feed the adaptive-precision escalator
+(:mod:`repro.guard.escalation`).  Rescaling is only ever allowed at a
+flush boundary, when the buffer is empty — cache blocks carry their own
+scales, so growing the universal scale there recompresses nothing.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -58,7 +67,16 @@ class DecodeBuffer:
         self._k_codes = np.zeros((n_heads, capacity, head_dim), dtype=np.int8)
         self._v_codes = np.zeros((n_heads, capacity, head_dim), dtype=np.int8)
         self._len = 0
-        self.clamped_total = 0  # elements clamped so far (observability)
+        self.clamped_total = 0  # lifetime elements clamped (monotone)
+        # Per-flush-window saturation stats (reset by drain()); the
+        # escalator reads the *last* window's copies after a flush.
+        self._win_clamped = np.zeros(n_heads, dtype=np.int64)
+        self._win_tokens = 0
+        self._win_k_absmax = np.zeros(n_heads, dtype=np.float64)
+        self._win_v_absmax = np.zeros(n_heads, dtype=np.float64)
+        self.last_clamp_fraction = np.zeros(n_heads, dtype=np.float64)
+        self.last_k_absmax = np.zeros(n_heads, dtype=np.float64)
+        self.last_v_absmax = np.zeros(n_heads, dtype=np.float64)
 
     def __len__(self) -> int:
         return self._len
@@ -67,32 +85,68 @@ class DecodeBuffer:
     def is_full(self) -> bool:
         return self._len >= self.capacity
 
-    def _quantize(self, x: np.ndarray, scale: np.ndarray) -> Tuple[np.ndarray, int]:
+    def _quantize(self, x: np.ndarray, scale: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantize ``(n_heads, t, head_dim)`` floats; returns codes plus
+        the per-head clamped-element counts."""
         codes = np.rint(np.asarray(x, dtype=np.float64) / scale)
-        clamped = int(np.count_nonzero(np.abs(codes) > self.clamp_code))
+        clamped = np.count_nonzero(np.abs(codes) > self.clamp_code, axis=(-2, -1))
         codes = np.clip(codes, -self.clamp_code, self.clamp_code)
-        return codes.astype(np.int8), clamped
+        return codes.astype(np.int8), clamped.astype(np.int64)
 
     def append(self, k_t: np.ndarray, v_t: np.ndarray) -> None:
         """Stage one token's K/V vectors, shape ``(n_heads, head_dim)`` or
         ``(n_heads, 1, head_dim)``.  Raises if the buffer is full — callers
-        must flush first (see :meth:`flush_if_full`)."""
-        if self.is_full:
-            raise RuntimeError("buffer full: flush before appending")
-        k_t = np.asarray(k_t, dtype=np.float64).reshape(self.n_heads, 1, self.head_dim)
-        v_t = np.asarray(v_t, dtype=np.float64).reshape(self.n_heads, 1, self.head_dim)
-        k_codes, ck = self._quantize(k_t, self.k_scale)
-        v_codes, cv = self._quantize(v_t, self.v_scale)
-        self._k_codes[:, self._len : self._len + 1, :] = k_codes
-        self._v_codes[:, self._len : self._len + 1, :] = v_codes
-        self._len += 1
-        self.clamped_total += ck + cv
+        must flush first (see :meth:`drain`)."""
+        self.extend(
+            np.asarray(k_t, dtype=np.float64).reshape(self.n_heads, 1, self.head_dim),
+            np.asarray(v_t, dtype=np.float64).reshape(self.n_heads, 1, self.head_dim),
+        )
 
     def extend(self, k: np.ndarray, v: np.ndarray) -> None:
-        """Stage multiple tokens (used for the ragged prefill tail)."""
-        k = np.asarray(k, dtype=np.float64)
-        for t in range(k.shape[-2]):
-            self.append(k[..., t, :], np.asarray(v)[..., t, :])
+        """Stage multiple tokens in one bulk quantize (used for the ragged
+        prefill tail and multi-token speculative steps).
+
+        ``k``/``v`` have shape ``(n_heads, t, head_dim)``.  If ``t``
+        exceeds the remaining capacity, the buffer fills up to capacity
+        and *then* raises ``RuntimeError`` — matching the historical
+        per-token behaviour callers rely on.
+        """
+        k = np.asarray(k, dtype=np.float64).reshape(self.n_heads, -1, self.head_dim)
+        v = np.asarray(v, dtype=np.float64).reshape(self.n_heads, -1, self.head_dim)
+        if k.shape != v.shape:
+            raise ValueError("key and value shapes must match")
+        t = k.shape[1]
+        if t == 0:
+            return
+        if self.is_full:
+            raise RuntimeError("buffer full: flush before appending")
+        fits = min(t, self.capacity - self._len)
+        k_codes, ck = self._quantize(k[:, :fits, :], self.k_scale)
+        v_codes, cv = self._quantize(v[:, :fits, :], self.v_scale)
+        self._k_codes[:, self._len : self._len + fits, :] = k_codes
+        self._v_codes[:, self._len : self._len + fits, :] = v_codes
+        self._len += fits
+        clamped = ck + cv
+        self.clamped_total += int(clamped.sum())
+        self._win_clamped += clamped
+        self._win_tokens += fits
+        np.maximum(
+            self._win_k_absmax, np.abs(k[:, :fits, :]).max(axis=(-2, -1)),
+            out=self._win_k_absmax,
+        )
+        np.maximum(
+            self._win_v_absmax, np.abs(v[:, :fits, :]).max(axis=(-2, -1)),
+            out=self._win_v_absmax,
+        )
+        if fits < t:
+            raise RuntimeError("buffer full: flush before appending")
+
+    def window_clamp_fraction(self) -> np.ndarray:
+        """Per-head clamped share of the current (undrained) window."""
+        n = self._win_tokens * 2 * self.head_dim
+        if n == 0:
+            return np.zeros(self.n_heads, dtype=np.float64)
+        return self._win_clamped / float(n)
 
     def codes(self) -> Tuple[np.ndarray, np.ndarray]:
         """Current staged INT8 codes, shapes ``(n_heads, len, head_dim)``."""
@@ -101,16 +155,78 @@ class DecodeBuffer:
             self._v_codes[:, : self._len, :],
         )
 
+    def restore(self, k_codes: np.ndarray, v_codes: np.ndarray) -> None:
+        """Overwrite the staged contents with already-quantized INT8 codes
+        (the deserialization entry point — no private pokes needed).
+
+        ``k_codes``/``v_codes`` have shape ``(n_heads, t, head_dim)`` with
+        ``t <= capacity``; the buffer length becomes ``t``.  Saturation
+        windows are reset: a restored buffer starts a fresh window.
+        """
+        k_codes = np.asarray(k_codes)
+        v_codes = np.asarray(v_codes)
+        if k_codes.shape != v_codes.shape:
+            raise ValueError("key and value code shapes must match")
+        if k_codes.ndim != 3 or k_codes.shape[0] != self.n_heads or k_codes.shape[2] != self.head_dim:
+            raise ValueError(
+                f"restore codes shape {k_codes.shape} does not match buffer "
+                f"({self.n_heads} heads, dim {self.head_dim})"
+            )
+        t = k_codes.shape[1]
+        if t > self.capacity:
+            raise ValueError(
+                f"restore length {t} exceeds buffer capacity {self.capacity}"
+            )
+        self._k_codes[:, :t, :] = k_codes.astype(np.int8)
+        self._v_codes[:, :t, :] = v_codes.astype(np.int8)
+        self._len = t
+        self._win_clamped[:] = 0
+        self._win_tokens = 0
+        self._win_k_absmax[:] = 0.0
+        self._win_v_absmax[:] = 0.0
+
     def drain(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Return staged codes + scales and clear the buffer.
 
         The caller hands these to
-        :meth:`repro.core.kvcache.QuantizedKVCache.append_block`.
+        :meth:`repro.core.kvcache.QuantizedKVCache.append_block`.  The
+        window saturation stats are published to ``last_clamp_fraction`` /
+        ``last_k_absmax`` / ``last_v_absmax`` and reset.
         """
         k_codes, v_codes = self.codes()
         k_codes, v_codes = k_codes.copy(), v_codes.copy()
         self._len = 0
+        self.last_clamp_fraction = self.window_clamp_fraction()
+        self.last_k_absmax = self._win_k_absmax.copy()
+        self.last_v_absmax = self._win_v_absmax.copy()
+        self._win_clamped[:] = 0
+        self._win_tokens = 0
+        self._win_k_absmax[:] = 0.0
+        self._win_v_absmax[:] = 0.0
         return k_codes, v_codes, self.k_scale.copy(), self.v_scale.copy()
+
+    def grow_scale(self, heads: np.ndarray) -> int:
+        """Regrow the frozen universal scale for the masked heads so the
+        *last* window's observed absmax would no longer clamp.
+
+        Only legal when the buffer is empty (a flush boundary): staged
+        codes would otherwise be re-interpreted under the new scale.
+        Scales only ever grow.  Returns the number of heads rescaled.
+        """
+        if self._len:
+            raise RuntimeError("scale regrow is only safe on an empty buffer")
+        heads = np.asarray(heads, dtype=bool).reshape(self.n_heads)
+        wanted_k = self.last_k_absmax / float(self.clamp_code)
+        wanted_v = self.last_v_absmax / float(self.clamp_code)
+        grew = heads & (
+            (wanted_k > self.k_scale.reshape(-1)) | (wanted_v > self.v_scale.reshape(-1))
+        )
+        if not grew.any():
+            return 0
+        sel = grew.reshape(-1, 1, 1)
+        self.k_scale = np.where(sel, np.maximum(self.k_scale, wanted_k.reshape(-1, 1, 1)), self.k_scale)
+        self.v_scale = np.where(sel, np.maximum(self.v_scale, wanted_v.reshape(-1, 1, 1)), self.v_scale)
+        return int(np.count_nonzero(grew))
 
     @property
     def storage_bits(self) -> int:

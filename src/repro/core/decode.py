@@ -32,6 +32,9 @@ from repro.attention.split_k import merge_partials
 from repro.core.buffer import DecodeBuffer
 from repro.core.config import TurboConfig
 from repro.core.kvcache import QuantizedKVCache
+from repro.guard.escalation import PrecisionEscalator
+from repro.guard.numerics import check_finite_tile, check_scale, guarded_int_matmul
+from repro.guard.report import GuardConfig, GuardReport
 from repro.quant.integer_gemm import int_matmul
 from repro.sas.softmax import SAS
 
@@ -64,6 +67,8 @@ def _attend_spans(
     hkv: int,
     g: int,
     d: int,
+    guard: Optional[GuardConfig] = None,
+    report: Optional[GuardReport] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run Algorithm 2's integer inner loop over a list of INT8 spans.
 
@@ -71,14 +76,27 @@ def _attend_spans(
     logsumexp ``(hkv, g, 1)`` — the mergeable split-K contract.
     """
     mc = config.int8_max_code
+
+    def _imatmul(a, b, where):
+        if guard is not None:
+            return guarded_int_matmul(a, b, where, guard, report)
+        return int_matmul(a, b)
+
     m = np.full((hkv, g, 1), -np.inf)
     l = np.zeros((hkv, g, 1))
     acc = np.zeros((hkv, g, 1, d))
-    for k_codes, v_codes, k_scale, v_scale in spans:
+    for i, (k_codes, v_codes, k_scale, v_scale) in enumerate(spans):
+        if guard is not None:
+            # A restored/corrupted span can carry degenerate scales; the
+            # codes themselves are integers and cannot be non-finite.
+            k_scale = check_scale(k_scale, f"decode span {i} k scale", guard, report)
+            v_scale = check_scale(v_scale, f"decode span {i} v scale", guard, report)
         s_tile = (
             q_scale
             * np.reshape(k_scale, (hkv, 1, 1, 1))
-            * int_matmul(qc, np.swapaxes(k_codes, -1, -2)[:, None, :, :])
+            * _imatmul(
+                qc, np.swapaxes(k_codes, -1, -2)[:, None, :, :], f"decode qk span {i}"
+            )
         ) * scale
         m_new = np.maximum(m, s_tile.max(axis=-1))
         with np.errstate(invalid="ignore"):
@@ -93,7 +111,7 @@ def _attend_spans(
             pv = (
                 p_scale
                 * np.reshape(v_scale, (hkv, 1, 1, 1))
-                * int_matmul(pc, v_codes[:, None, :, :])
+                * _imatmul(pc, v_codes[:, None, :, :], f"decode pv span {i}")
             )
         else:
             pv = p @ (
@@ -118,6 +136,37 @@ def _gather_spans(cache: QuantizedKVCache, buffer: DecodeBuffer) -> List[Span]:
     return spans
 
 
+def _flush_full_buffer(
+    cache: QuantizedKVCache,
+    buffer: DecodeBuffer,
+    escalator: Optional[PrecisionEscalator],
+    report: Optional[GuardReport],
+) -> None:
+    """Flush the buffer into a cache block, consulting the escalator.
+
+    With an escalator, the flushed block's saturation stats update the
+    per-head bit assignments *before* the block is compressed — the block
+    that triggered escalation is already stored at the wider width — and
+    clamp-hot heads regrow the frozen scale at this (empty-buffer)
+    boundary.
+    """
+    if escalator is None:
+        cache.append_block(*buffer.drain())
+        return
+    k_codes, v_codes, k_sc, v_sc = buffer.drain()
+    decision = escalator.observe_flush(
+        k_codes, v_codes, k_sc, v_sc, buffer.last_clamp_fraction, report
+    )
+    if decision.changed:
+        cache.set_head_bits(decision.head_bits)
+    cache.append_block(k_codes, v_codes, k_sc, v_sc)
+    if decision.clamp_hot.any():
+        grew = buffer.grow_scale(decision.clamp_hot)
+        if grew and report is not None:
+            report.scale_regrows += grew
+            report.record(f"scale_regrow:{grew} heads")
+
+
 def _prepare_step(
     q_t: np.ndarray,
     k_t: np.ndarray,
@@ -126,6 +175,9 @@ def _prepare_step(
     buffer: DecodeBuffer,
     config: TurboConfig,
     scale: Optional[float],
+    guard: Optional[GuardConfig] = None,
+    report: Optional[GuardReport] = None,
+    escalator: Optional[PrecisionEscalator] = None,
 ):
     q_t = np.asarray(q_t, dtype=np.float64)
     hq, d = q_t.shape
@@ -135,11 +187,52 @@ def _prepare_step(
     g = hq // hkv
     if scale is None:
         scale = 1.0 / np.sqrt(d)
+    wants_fallback = False
+    if guard is not None:
+        q_t, fb_q = check_finite_tile(q_t, "decode q_t", guard, report)
+        k_t, fb_k = check_finite_tile(
+            np.asarray(k_t, dtype=np.float64), "decode k_t", guard, report
+        )
+        v_t, fb_v = check_finite_tile(
+            np.asarray(v_t, dtype=np.float64), "decode v_t", guard, report
+        )
+        wants_fallback = fb_q or fb_k or fb_v
     if buffer.is_full:
-        cache.append_block(*buffer.drain())
+        _flush_full_buffer(cache, buffer, escalator, report)
     buffer.append(k_t, v_t)
     qc, q_scale = _quantize_query(q_t, hkv, g, d, config.int8_max_code)
-    return qc, q_scale, scale, hq, hkv, g, d
+    return qc, q_scale, scale, hq, hkv, g, d, q_t, wants_fallback
+
+
+def _reference_step_from_spans(
+    spans: Sequence[Span],
+    q_t: np.ndarray,
+    scale: float,
+    hkv: int,
+    g: int,
+    d: int,
+) -> np.ndarray:
+    """FP16-reference decode: dequantize every span and run exact softmax
+    attention — the fallback path for a guard-flagged step.
+
+    The cache stores only codes + scales, so ``codes * scale`` *is* the
+    reference-precision view of the history; what this path removes is the
+    integer score/output arithmetic and SAS for the poisoned step.
+    """
+    k_f = np.concatenate(
+        [c.astype(np.float64) * np.reshape(s, (hkv, 1, 1)) for c, _, s, _ in spans],
+        axis=-2,
+    )
+    v_f = np.concatenate(
+        [c.astype(np.float64) * np.reshape(s, (hkv, 1, 1)) for _, c, _, s in spans],
+        axis=-2,
+    )
+    qg = q_t.reshape(hkv, g, 1, d)
+    s = (qg @ np.swapaxes(k_f, -1, -2)[:, None, :, :]) * scale
+    m = s.max(axis=-1, keepdims=True)
+    p = np.exp(s - m)
+    p = p / p.sum(axis=-1, keepdims=True)
+    return p @ v_f[:, None, :, :]
 
 
 def turbo_decode_step(
@@ -150,6 +243,9 @@ def turbo_decode_step(
     buffer: DecodeBuffer,
     config: TurboConfig,
     scale: Optional[float] = None,
+    guard: Optional[GuardConfig] = None,
+    report: Optional[GuardReport] = None,
+    escalator: Optional[PrecisionEscalator] = None,
 ) -> np.ndarray:
     """One decode step.
 
@@ -167,17 +263,37 @@ def turbo_decode_step(
         Kernel hyper-parameters.
     scale:
         Score scale, default ``1/sqrt(head_dim)``.
+    guard:
+        Optional numerics guard: step inputs are screened for NaN/Inf,
+        span scales for degeneracy, and the integer GEMMs get the
+        recoverable overflow guard.  Under the ``fallback`` policy a
+        poisoned step reruns through the FP16 reference path over the
+        dequantized history.
+    report:
+        Counter sink (created automatically when ``guard`` is given).
+    escalator:
+        Optional adaptive-precision escalator consulted at every buffer
+        flush (see :mod:`repro.guard.escalation`).
 
     Returns
     -------
     Attention output for the token, shape ``(q_heads, head_dim)``.
     """
-    qc, q_scale, scale, hq, hkv, g, d = _prepare_step(
-        q_t, k_t, v_t, cache, buffer, config, scale
+    if guard is not None and report is None:
+        report = GuardReport()
+    qc, q_scale, scale, hq, hkv, g, d, q_f, wants_fallback = _prepare_step(
+        q_t, k_t, v_t, cache, buffer, config, scale, guard, report, escalator
     )
-    exp = _exp_fn(config)
     spans = _gather_spans(cache, buffer)
-    out, _lse = _attend_spans(spans, qc, q_scale, config, exp, scale, hkv, g, d)
+    if wants_fallback:
+        report.fallback_steps += 1
+        report.record("fallback_step:decode")
+        out = _reference_step_from_spans(spans, q_f, scale, hkv, g, d)
+        return out.reshape(hq, d)
+    exp = _exp_fn(config)
+    out, _lse = _attend_spans(
+        spans, qc, q_scale, config, exp, scale, hkv, g, d, guard, report
+    )
     return out.reshape(hq, d)
 
 
@@ -200,7 +316,7 @@ def turbo_decode_step_split_k(
     """
     if n_splits < 1:
         raise ValueError("n_splits must be >= 1")
-    qc, q_scale, scale, hq, hkv, g, d = _prepare_step(
+    qc, q_scale, scale, hq, hkv, g, d, _q_f, _fb = _prepare_step(
         q_t, k_t, v_t, cache, buffer, config, scale
     )
     exp = _exp_fn(config)

@@ -13,12 +13,20 @@ the ``n_h`` lowest-priority heads are compressed to 2-bit, the rest to
 The ablation of Figure 7b compares this metric against simpler selectors —
 entropy, raw min-max range, channel-gap variation — implemented here under
 the same interface so the harness can sweep them.
+
+Selection happens once, from prefill statistics — but assignments are no
+longer final: the adaptive-precision escalator
+(:mod:`repro.guard.escalation`) moves heads along a widths *ladder* at
+decode-time flush boundaries when the stream drifts away from the prefill
+distribution.  :func:`snap_to_ladder` and :func:`ladder_step` are the
+assignment-mutation primitives it uses, kept here so every way a head's
+width can change lives in one module.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +40,8 @@ __all__ = [
     "head_scores",
     "select_two_bit_heads",
     "assign_head_bits",
+    "snap_to_ladder",
+    "ladder_step",
 ]
 
 
@@ -138,3 +148,45 @@ def assign_head_bits(two_bit_mask: np.ndarray, high_bits: int = 4) -> np.ndarray
     """Translate a 2-bit mask into a per-head bit-width array."""
     mask = np.asarray(two_bit_mask, dtype=bool)
     return np.where(mask, 2, high_bits).astype(np.int32)
+
+
+def snap_to_ladder(head_bits: np.ndarray, ladder: Sequence[int]) -> np.ndarray:
+    """Raise assignments below the ladder's bottom rung onto it.
+
+    Widths *above* the bottom rung pass through unchanged even when they
+    are not themselves rungs (e.g. a 3-bit head under a (2, 4, 8) ladder):
+    such heads simply never move until their width coincides with a rung.
+    """
+    ladder = sorted(set(int(b) for b in ladder))
+    if not ladder:
+        raise ValueError("ladder must be non-empty")
+    bits = np.asarray(head_bits, dtype=np.int32).copy()
+    bits[bits < ladder[0]] = ladder[0]
+    return bits
+
+
+def ladder_step(
+    head_bits: np.ndarray,
+    ladder: Sequence[int],
+    direction: int,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Move masked heads one rung up (``+1``) or down (``-1``) the ladder.
+
+    Heads whose current width is not a rung, or already at the ladder's
+    end, stay put.  Returns a new array; the input is not modified.
+    """
+    if direction not in (-1, 1):
+        raise ValueError("direction must be +1 or -1")
+    rungs = sorted(set(int(b) for b in ladder))
+    bits = np.asarray(head_bits, dtype=np.int32)
+    mask = np.asarray(mask, dtype=bool)
+    out = bits.copy()
+    for h in np.flatnonzero(mask):
+        b = int(bits[h])
+        if b not in rungs:
+            continue
+        i = rungs.index(b) + direction
+        if 0 <= i < len(rungs):
+            out[h] = rungs[i]
+    return out

@@ -10,6 +10,13 @@ constant.
 Blocks are immutable once written: decode never recompresses old tokens
 (the enhanced buffer guarantees new tokens arrive already aligned to block
 boundaries).
+
+Because each :class:`ProgressiveBlock` carries its *own* per-head bit
+array, blocks within one cache may legally differ in width: the adaptive
+precision escalator (:mod:`repro.guard.escalation`) retunes
+``head_bits`` between flushes via :meth:`QuantizedKVCache.set_head_bits`,
+and only blocks appended afterwards pay the new cost.  Storage accounting
+and serialization both honour per-block widths.
 """
 
 from __future__ import annotations
@@ -70,6 +77,21 @@ class QuantizedKVCache:
 
     def __len__(self) -> int:
         return len(self.blocks)
+
+    def set_head_bits(self, head_bits: np.ndarray) -> None:
+        """Retune the widths used for *future* blocks (escalation hook).
+
+        Existing blocks are untouched — they already store their own bit
+        arrays — so this is a constant-time policy change, not a rewrite.
+        """
+        head_bits = np.asarray(head_bits, dtype=np.int32)
+        if head_bits.shape != (self.n_heads,):
+            raise ValueError(
+                f"head_bits must have shape ({self.n_heads},), got {head_bits.shape}"
+            )
+        if np.any(~np.isin(head_bits, (2, 3, 4, 8))):
+            raise ValueError(f"unsupported bit-widths: {np.unique(head_bits)}")
+        self.head_bits = head_bits
 
     @property
     def seq_len(self) -> int:

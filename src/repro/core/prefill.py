@@ -34,6 +34,8 @@ from repro.core.buffer import DecodeBuffer
 from repro.core.config import TurboConfig
 from repro.core.kvcache import QuantizedKVCache
 from repro.fp.formats import fp16_matmul
+from repro.guard.numerics import check_finite_tile, check_scale, guarded_int_matmul
+from repro.guard.report import GuardConfig, GuardReport
 from repro.quant.integer_gemm import int_matmul
 from repro.sas.softmax import SAS
 
@@ -56,6 +58,8 @@ class PrefillResult:
         Decode buffer holding the ragged tail tokens (may be empty).
     head_bits:
         Per-KV-head storage bit-widths used.
+    report:
+        Guard counters for this prefill (``None`` when no guard ran).
     """
 
     output: np.ndarray
@@ -63,6 +67,7 @@ class PrefillResult:
     cache: QuantizedKVCache
     buffer: DecodeBuffer
     head_bits: np.ndarray
+    report: Optional[GuardReport] = None
 
 
 def quantize_tile(
@@ -95,6 +100,8 @@ def turbo_prefill(
     head_bits: np.ndarray,
     causal: bool = True,
     scale: Optional[float] = None,
+    guard: Optional[GuardConfig] = None,
+    report: Optional[GuardReport] = None,
 ) -> PrefillResult:
     """Run Algorithm 1 over a full prompt.
 
@@ -114,6 +121,15 @@ def turbo_prefill(
         Apply the causal mask (always true for LLM prefill; off for tests).
     scale:
         Score scale, default ``1/sqrt(head_dim)``.
+    guard:
+        Optional numerics guard.  Every Q/K/V tile is checked for NaN/Inf
+        before quantization and every scale for degeneracy; under the
+        ``fallback`` policy an offending tile's MatMuls rerun on the FP16
+        reference path (the sanitized floats) instead of the integer path,
+        and the event is recorded.  Integer GEMMs get the recoverable
+        accumulator-headroom guard.
+    report:
+        Counter sink; created automatically when ``guard`` is given.
     """
     q = np.asarray(q, dtype=np.float64)
     k = np.asarray(k, dtype=np.float64)
@@ -128,24 +144,45 @@ def turbo_prefill(
     offset = nk - n
     exp = _exp_fn(config)
     mc = config.int8_max_code
+    if guard is not None and report is None:
+        report = GuardReport()
 
     qg = q.reshape(hkv, g, n, d)
     bq, bk = config.block_q, config.block_k
 
     # --- Pass 0: quantize K/V tiles once; codes serve compute AND storage.
+    # Under a guard each float tile is screened first (a single NaN would
+    # otherwise poison the tile's absmax and hence every code in it); the
+    # sanitized floats are kept for the FP16 fallback path and the tail.
     k_tiles: List[Tuple[np.ndarray, np.ndarray]] = []
     v_tiles: List[Tuple[np.ndarray, np.ndarray]] = []
+    f_tiles: List[Tuple[np.ndarray, np.ndarray]] = []
+    bad_kv: set = set()
     bounds = [(s, min(s + bk, nk)) for s in range(0, nk, bk)]
-    for ks, ke in bounds:
-        kc, ksc = quantize_tile(k[:, ks:ke, :], mc)
-        vc, vsc = quantize_tile(v[:, ks:ke, :], mc)
+    for j, (ks, ke) in enumerate(bounds):
+        kt = k[:, ks:ke, :]
+        vt = v[:, ks:ke, :]
+        if guard is not None:
+            kt, fb_k = check_finite_tile(kt, f"prefill k tile {j}", guard, report)
+            vt, fb_v = check_finite_tile(vt, f"prefill v tile {j}", guard, report)
+            if fb_k or fb_v:
+                bad_kv.add(j)
+                report.fallback_tiles += 1
+        kc, ksc = quantize_tile(kt, mc)
+        vc, vsc = quantize_tile(vt, mc)
+        if guard is not None:
+            ksc = check_scale(ksc, f"prefill k scale tile {j}", guard, report)
+            vsc = check_scale(vsc, f"prefill v scale tile {j}", guard, report)
         k_tiles.append((kc, ksc))
         v_tiles.append((vc, vsc))
+        f_tiles.append((kt, vt))
 
     # --- Storage: full blocks go to the cache; the ragged tail to the buffer.
     cache = QuantizedKVCache(hkv, d, head_bits=head_bits, block_size=bk)
-    k_univ = np.maximum(np.abs(k).max(axis=(-2, -1), keepdims=True), 1e-12) / float(mc)
-    v_univ = np.maximum(np.abs(v).max(axis=(-2, -1), keepdims=True), 1e-12) / float(mc)
+    k_all = np.concatenate([t[0] for t in f_tiles], axis=-2) if guard is not None else k
+    v_all = np.concatenate([t[1] for t in f_tiles], axis=-2) if guard is not None else v
+    k_univ = np.maximum(np.abs(k_all).max(axis=(-2, -1), keepdims=True), 1e-12) / float(mc)
+    v_univ = np.maximum(np.abs(v_all).max(axis=(-2, -1), keepdims=True), 1e-12) / float(mc)
     buffer = DecodeBuffer(
         hkv, d, capacity=config.buffer_size,
         k_scale=k_univ, v_scale=v_univ, clamp_code=config.clamp_code,
@@ -157,7 +194,12 @@ def turbo_prefill(
                 k_tiles[j][1].reshape(hkv, 1, 1), v_tiles[j][1].reshape(hkv, 1, 1),
             )
         else:
-            buffer.extend(k[:, ks:ke, :], v[:, ks:ke, :])
+            buffer.extend(f_tiles[j][0], f_tiles[j][1])
+
+    def _imatmul(a, b, where):
+        if guard is not None:
+            return guarded_int_matmul(a, b, where, guard, report)
+        return int_matmul(a, b)
 
     # --- Compute: tiled online-softmax attention on the INT8 codes.
     out = np.zeros((hkv, g, n, d), dtype=np.float64)
@@ -165,6 +207,13 @@ def turbo_prefill(
     for qs in range(0, n, bq):
         qe = min(qs + bq, n)
         q_tile = qg[:, :, qs:qe, :]
+        bad_q = False
+        if guard is not None:
+            q_tile, bad_q = check_finite_tile(
+                q_tile, f"prefill q tile {qs // bq}", guard, report
+            )
+            if bad_q:
+                report.fallback_tiles += 1
         qc, qsc = quantize_tile(q_tile, mc)  # scale shape (hkv, g, 1, 1)
         m = np.full((hkv, g, qe - qs), -np.inf)
         l = np.zeros((hkv, g, qe - qs))
@@ -174,15 +223,21 @@ def turbo_prefill(
                 break
             kc, ksc = k_tiles[j]
             vc, vsc = v_tiles[j]
-            if config.quantize_matmuls:
+            # A tile flagged by the guard reruns on the FP16 reference path
+            # (its sanitized floats) instead of the integer path.
+            use_int = config.quantize_matmuls and not (bad_q or j in bad_kv)
+            if use_int:
                 s_tile = (
                     qsc
                     * ksc[:, None, :, :]
-                    * int_matmul(qc, np.swapaxes(kc, -1, -2)[:, None, :, :])
+                    * _imatmul(
+                        qc, np.swapaxes(kc, -1, -2)[:, None, :, :],
+                        f"prefill qk q{qs // bq} k{j}",
+                    )
                 ) * scale
             else:
                 s_tile = fp16_matmul(
-                    q_tile, np.swapaxes(k[:, ks:ke, :], -1, -2)[:, None, :, :]
+                    q_tile, np.swapaxes(f_tiles[j][0], -1, -2)[:, None, :, :]
                 ) * scale
             if causal:
                 s_tile = s_tile + causal_mask_block(qs, qe - qs, ks, ke - ks, offset)
@@ -192,12 +247,15 @@ def turbo_prefill(
             corr = np.where(np.isfinite(m), corr, 0.0)
             p = exp(s_tile - m_new[..., None])
             l = corr * l + p.sum(axis=-1)
-            if config.quantize_matmuls:
+            if use_int:
                 pc, psc = quantize_tile(p, mc)
-                pv = psc * vsc[:, None, :, :] * int_matmul(pc, vc[:, None, :, :])
+                pv = psc * vsc[:, None, :, :] * _imatmul(
+                    pc, vc[:, None, :, :], f"prefill pv q{qs // bq} k{j}"
+                )
             else:
                 pv = fp16_matmul(
-                    p.astype(np.float16).astype(np.float64), v[:, ks:ke, :][:, None, :, :]
+                    p.astype(np.float16).astype(np.float64),
+                    f_tiles[j][1][:, None, :, :],
                 )
             acc = corr[..., None] * acc + pv
             m = m_new
@@ -211,4 +269,5 @@ def turbo_prefill(
         cache=cache,
         buffer=buffer,
         head_bits=np.asarray(head_bits, dtype=np.int32),
+        report=report,
     )

@@ -10,6 +10,13 @@ quantized cache/buffer state and the decode kernel behind two calls::
 
 The state object exposes honest storage accounting
 (:attr:`TurboKVState.storage_bits`) used by the memory/throughput models.
+
+Passing a :class:`repro.guard.GuardConfig` arms the numerics guard on both
+kernels (NaN/Inf tiles, degenerate scales, accumulator headroom — with
+``raise | sanitize | fallback`` policies) and, when the config carries an
+:class:`repro.guard.EscalationConfig`, adaptive per-head precision
+escalation at every buffer flush.  The per-state
+:attr:`TurboKVState.report` accumulates what the guards saw and did.
 """
 
 from __future__ import annotations
@@ -25,17 +32,27 @@ from repro.core.decode import turbo_decode_step
 from repro.core.headwise import HeadSelectionMethod, assign_head_bits, select_two_bit_heads
 from repro.core.kvcache import QuantizedKVCache
 from repro.core.prefill import turbo_prefill
+from repro.guard.escalation import PrecisionEscalator
+from repro.guard.report import GuardConfig, GuardReport
 
 __all__ = ["TurboAttention", "TurboKVState"]
 
 
 @dataclass
 class TurboKVState:
-    """Per-layer attention state: progressive cache + INT8 buffer."""
+    """Per-layer attention state: progressive cache + INT8 buffer.
+
+    ``report`` and ``escalator`` are populated when the owning
+    :class:`TurboAttention` runs with a guard; they are runtime-only and
+    deliberately not persisted (a restored state re-arms lazily on the
+    next guarded decode step).
+    """
 
     cache: QuantizedKVCache
     buffer: DecodeBuffer
     head_bits: np.ndarray
+    report: Optional[GuardReport] = None
+    escalator: Optional[PrecisionEscalator] = None
 
     @property
     def seq_len(self) -> int:
@@ -65,8 +82,25 @@ class TurboKVState:
 class TurboAttention:
     """TurboAttention = FlashQ + SAS behind a prefill/decode interface."""
 
-    def __init__(self, config: Optional[TurboConfig] = None):
+    def __init__(
+        self,
+        config: Optional[TurboConfig] = None,
+        guard: Optional[GuardConfig] = None,
+    ):
         self.config = config if config is not None else TurboConfig()
+        self.guard = guard
+
+    def _arm(self, state: TurboKVState) -> None:
+        """Lazily attach guard runtime objects to a state (covers both
+        fresh prefills and states restored from persistence)."""
+        if self.guard is None:
+            return
+        if state.report is None:
+            state.report = GuardReport()
+        if self.guard.escalation is not None and state.escalator is None:
+            state.escalator = PrecisionEscalator(
+                self.guard.escalation, state.head_bits
+            )
 
     def choose_head_bits(self, k: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Assign per-head bit-widths from prefill K/V statistics.
@@ -98,9 +132,14 @@ class TurboAttention:
         if head_bits is None:
             head_bits = self.choose_head_bits(k, v)
         result = turbo_prefill(
-            q, k, v, config=self.config, head_bits=head_bits, causal=causal, scale=scale
+            q, k, v, config=self.config, head_bits=head_bits, causal=causal,
+            scale=scale, guard=self.guard,
         )
-        state = TurboKVState(cache=result.cache, buffer=result.buffer, head_bits=result.head_bits)
+        state = TurboKVState(
+            cache=result.cache, buffer=result.buffer, head_bits=result.head_bits,
+            report=result.report,
+        )
+        self._arm(state)
         return result.output, state
 
     def decode_step(
@@ -112,7 +151,14 @@ class TurboAttention:
         scale: Optional[float] = None,
     ) -> np.ndarray:
         """Process one generated token against the compressed state."""
-        return turbo_decode_step(
+        self._arm(state)
+        out = turbo_decode_step(
             q_t, k_t, v_t, cache=state.cache, buffer=state.buffer,
-            config=self.config, scale=scale,
+            config=self.config, scale=scale, guard=self.guard,
+            report=state.report, escalator=state.escalator,
         )
+        if state.escalator is not None:
+            # Escalation retunes the cache's widths; keep the state's view
+            # (used by serialization and storage accounting) in sync.
+            state.head_bits = state.cache.head_bits
+        return out

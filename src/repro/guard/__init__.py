@@ -1,0 +1,56 @@
+"""Runtime guardrails for the all-integer attention pipeline.
+
+TurboAttention has no FP16 residual window to absorb distribution drift
+(the deliberate contrast with KIVI/GEAR), so this package makes the
+quantized pipeline **fail soft instead of fail silent**, in three layers:
+
+* :mod:`repro.guard.numerics` — tile-level NaN/Inf, scale, and
+  accumulator-headroom checks with per-check ``raise | sanitize |
+  fallback`` policies (:class:`GuardConfig`), accounted in a
+  :class:`GuardReport`.
+* :mod:`repro.guard.escalation` — adaptive per-head precision escalation
+  (2 -> 4 -> 8 bits with hysteresis) driven by clamp fractions and
+  measured error vs the analytic bounds.
+* :mod:`repro.guard.chaos` + the typed errors consumed by
+  :mod:`repro.core.serialization` — corruption-safe persistence: schema
+  tags, per-array CRC32, geometry/value validation, and a salvage mode,
+  all exercised by a seeded corruption injector.
+"""
+
+from repro.guard.checksum import array_crc32, checksum_key, is_checksum_key
+from repro.guard.chaos import CORRUPTION_KINDS, ChaosEvent, ChaosInjector
+from repro.guard.errors import (
+    CacheCorruptionError,
+    ChecksumMismatchError,
+    CorruptValueError,
+    GeometryError,
+    NumericsError,
+    SchemaError,
+)
+from repro.guard.escalation import EscalationConfig, EscalationDecision, PrecisionEscalator
+from repro.guard.numerics import check_finite_tile, check_scale, guarded_int_matmul
+from repro.guard.report import GuardConfig, GuardPolicy, GuardReport
+
+__all__ = [
+    "GuardConfig",
+    "GuardPolicy",
+    "GuardReport",
+    "NumericsError",
+    "CacheCorruptionError",
+    "SchemaError",
+    "ChecksumMismatchError",
+    "GeometryError",
+    "CorruptValueError",
+    "EscalationConfig",
+    "EscalationDecision",
+    "PrecisionEscalator",
+    "ChaosInjector",
+    "ChaosEvent",
+    "CORRUPTION_KINDS",
+    "check_finite_tile",
+    "check_scale",
+    "guarded_int_matmul",
+    "array_crc32",
+    "checksum_key",
+    "is_checksum_key",
+]

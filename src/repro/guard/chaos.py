@@ -1,0 +1,130 @@
+"""Seeded corruption injector for persisted KV states (guard layer 3's
+test driver).
+
+Operates on the flat array dict produced by
+:func:`repro.core.serialization.state_to_arrays` — the exact bytes a
+deployment would persist — so every corruption a disk, network, or
+truncated write can produce is reproducible from a seed:
+
+* ``bit_flip``   — one bit flipped inside a packed code payload (disk/DMA
+  rot; only a checksum can catch it, the mutated byte is valid data).
+* ``scale_zero`` — a stored quantization scale zeroed (the classic
+  "garbage block decodes to silence" failure).
+* ``nan_poison`` — NaN written into a float scale array.
+* ``truncate``   — a trailing array dropped wholesale, as a truncated
+  ``.npz`` member list would present.
+
+By default a corruption leaves the stored CRC32 stale, so the checksum
+layer detects it.  ``stealth=True`` re-stamps the checksum after
+mutating — modelling corruption *before* the checksum was computed (or an
+adversarial writer) — which forces detection down onto the semantic
+validators (finite/positive scales, geometry).  A stealthy ``bit_flip``
+is explicitly undetectable-by-design: the flipped code is legal data,
+which is precisely the argument for checksumming at write time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.guard.checksum import array_crc32, checksum_key, is_checksum_key
+
+__all__ = ["CORRUPTION_KINDS", "ChaosEvent", "ChaosInjector"]
+
+#: Every corruption kind the injector can produce.
+CORRUPTION_KINDS = ("bit_flip", "scale_zero", "nan_poison", "truncate")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injected corruption: what was done to which array."""
+
+    kind: str
+    key: str
+    detail: str
+    #: Whether the stored checksum was re-stamped to match the corruption.
+    stealth: bool = False
+
+
+class ChaosInjector:
+    """Deterministic, seeded corruption of a serialized state dict."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    # -- target selection ------------------------------------------------
+    @staticmethod
+    def _code_keys(arrays: Dict[str, np.ndarray]) -> List[str]:
+        return sorted(
+            k for k in arrays
+            if not is_checksum_key(k)
+            and (".codes" in k or k in ("buffer.k_codes", "buffer.v_codes"))
+            and arrays[k].size > 0
+        )
+
+    @staticmethod
+    def _scale_keys(arrays: Dict[str, np.ndarray]) -> List[str]:
+        return sorted(
+            k for k in arrays
+            if not is_checksum_key(k)
+            and (k.endswith(".float_scale") or k in ("buffer.k_scale", "buffer.v_scale"))
+            and arrays[k].size > 0
+        )
+
+    def _pick(self, keys: List[str]) -> str:
+        if not keys:
+            raise ValueError("no eligible arrays to corrupt")
+        return keys[int(self.rng.integers(len(keys)))]
+
+    # -- corruption ------------------------------------------------------
+    def corrupt(
+        self,
+        arrays: Dict[str, np.ndarray],
+        kind: str,
+        stealth: bool = False,
+    ) -> Tuple[Dict[str, np.ndarray], ChaosEvent]:
+        """Return a corrupted copy of ``arrays`` plus the event record.
+
+        The input dict is not modified; mutated arrays are copies.
+        """
+        if kind not in CORRUPTION_KINDS:
+            raise ValueError(f"unknown corruption kind: {kind!r}")
+        out = dict(arrays)
+        if kind == "bit_flip":
+            key = self._pick(self._code_keys(out))
+            arr = out[key].copy()
+            flat = arr.reshape(-1).view(np.uint8)
+            idx = int(self.rng.integers(flat.size))
+            bit = int(self.rng.integers(8))
+            flat[idx] ^= np.uint8(1 << bit)
+            out[key] = arr
+            detail = f"byte {idx} bit {bit}"
+        elif kind == "scale_zero":
+            key = self._pick(self._scale_keys(out))
+            arr = out[key].astype(np.float64, copy=True)
+            idx = int(self.rng.integers(arr.size))
+            arr.reshape(-1)[idx] = 0.0
+            out[key] = arr
+            detail = f"element {idx} zeroed"
+        elif kind == "nan_poison":
+            key = self._pick(self._scale_keys(out))
+            arr = out[key].astype(np.float64, copy=True)
+            idx = int(self.rng.integers(arr.size))
+            arr.reshape(-1)[idx] = np.nan
+            out[key] = arr
+            detail = f"element {idx} = NaN"
+        else:  # truncate
+            candidates = sorted(
+                k for k in out
+                if not is_checksum_key(k) and not k.startswith("meta.")
+            )
+            key = self._pick(candidates)
+            del out[key]
+            out.pop(checksum_key(key), None)
+            detail = "array dropped"
+        if stealth and kind != "truncate" and checksum_key(key) in out:
+            out[checksum_key(key)] = np.asarray(array_crc32(out[key]), dtype=np.uint32)
+        return out, ChaosEvent(kind=kind, key=key, detail=detail, stealth=stealth)

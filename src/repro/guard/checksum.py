@@ -1,0 +1,42 @@
+"""Array checksums for corruption-safe KV persistence.
+
+One CRC32 per serialized array, computed over the dtype descriptor, the
+shape, and the raw payload bytes — so a bit flip, a silently reshaped
+array, and a dtype swap are all detected.  Kept in its own dependency-free
+module because both the serializer (:mod:`repro.core.serialization`) and
+the chaos injector (:mod:`repro.guard.chaos`) need it without importing
+each other.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["array_crc32", "checksum_key", "is_checksum_key", "base_key"]
+
+_PREFIX = "crc."
+
+
+def array_crc32(arr: np.ndarray) -> int:
+    """CRC32 over an array's dtype, shape, and contiguous payload."""
+    arr = np.asarray(arr)
+    header = f"{arr.dtype.str}|{arr.shape}".encode()
+    crc = zlib.crc32(header)
+    crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def checksum_key(key: str) -> str:
+    """Serialized-dict key holding the CRC of array ``key``."""
+    return _PREFIX + key
+
+
+def is_checksum_key(key: str) -> bool:
+    return key.startswith(_PREFIX)
+
+
+def base_key(key: str) -> str:
+    """Inverse of :func:`checksum_key`."""
+    return key[len(_PREFIX):] if is_checksum_key(key) else key

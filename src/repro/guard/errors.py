@@ -1,0 +1,90 @@
+"""Typed failure modes of the guarded quantized-attention pipeline.
+
+Two families:
+
+* :class:`NumericsError` — a runtime numerics hazard (non-finite tile,
+  degenerate scale, accumulator overflow) surfaced under the ``raise``
+  guard policy.  Carries the check name and tile location so operators can
+  correlate with request logs.
+* :class:`CacheCorruptionError` — a persisted KV state failed validation
+  on load.  Subclasses distinguish *how* it failed (schema, checksum,
+  geometry, value range) so callers can decide between hard-fail and
+  salvage.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NumericsError",
+    "CacheCorruptionError",
+    "SchemaError",
+    "ChecksumMismatchError",
+    "GeometryError",
+    "CorruptValueError",
+]
+
+
+class NumericsError(RuntimeError):
+    """A numerics guard check failed under the ``raise`` policy.
+
+    Attributes
+    ----------
+    check:
+        Which guard tripped (``"nonfinite"``, ``"bad_scale"``,
+        ``"overflow"``).
+    where:
+        Human-readable tile/span location (e.g. ``"prefill k tile 3"``).
+    """
+
+    def __init__(self, check: str, where: str, detail: str = ""):
+        self.check = check
+        self.where = where
+        msg = f"numerics guard [{check}] tripped at {where}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class CacheCorruptionError(Exception):
+    """Base class: a persisted KV state failed load-time validation.
+
+    Attributes
+    ----------
+    key:
+        The serialized-array key implicated (empty when the failure is not
+        attributable to a single array).
+    """
+
+    def __init__(self, message: str, key: str = ""):
+        self.key = key
+        super().__init__(message)
+
+
+class SchemaError(CacheCorruptionError):
+    """Missing/unknown schema tag or a required array is absent entirely
+    (e.g. a truncated file that lost whole members)."""
+
+
+class ChecksumMismatchError(CacheCorruptionError):
+    """An array's stored CRC32 does not match its payload."""
+
+    def __init__(self, key: str, expected: int, actual: int):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"checksum mismatch for {key!r}: stored {expected:#010x}, "
+            f"computed {actual:#010x}",
+            key=key,
+        )
+
+
+class GeometryError(CacheCorruptionError):
+    """Array shapes/lengths are inconsistent with the state's metadata
+    (wrong head count, staged tokens exceeding buffer capacity, block
+    longer than ``block_size``, packed payload shorter than declared)."""
+
+
+class CorruptValueError(CacheCorruptionError):
+    """Array contents are semantically invalid even though shapes agree
+    (non-finite or non-positive scales, zero integer scales, bit-widths
+    outside {2, 3, 4, 8})."""

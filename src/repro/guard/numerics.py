@@ -1,0 +1,103 @@
+"""Tile-level numerics checks (NaN/Inf, scales, accumulator headroom).
+
+These are the primitives :mod:`repro.core.prefill` and
+:mod:`repro.core.decode` call on every tile when a
+:class:`~repro.guard.report.GuardConfig` is active.  Each check applies
+its configured :class:`~repro.guard.report.GuardPolicy` and accounts for
+itself in a :class:`~repro.guard.report.GuardReport`; ``fallback``
+decisions are returned to the caller (only the kernel knows what the FP16
+reference path for a given tile looks like).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.guard.errors import NumericsError
+from repro.guard.report import GuardConfig, GuardPolicy, GuardReport
+from repro.quant.integer_gemm import int32_headroom_ok, int_matmul
+
+__all__ = ["check_finite_tile", "check_scale", "guarded_int_matmul"]
+
+
+def check_finite_tile(
+    x: np.ndarray,
+    where: str,
+    guard: GuardConfig,
+    report: GuardReport,
+) -> Tuple[np.ndarray, bool]:
+    """Detect NaN/Inf in a float tile.
+
+    Returns ``(tile, wants_fallback)``.  Under ``sanitize``/``fallback``
+    the returned tile has non-finite entries replaced by zero (a poisoned
+    lane must never reach the quantizer: one NaN makes the whole tile's
+    absmax — and hence its scale — NaN, corrupting every other value in
+    the tile).  ``wants_fallback`` asks the caller to reroute this tile
+    through the FP16 reference path.
+    """
+    report.checks_run += 1
+    x = np.asarray(x, dtype=np.float64)
+    finite = np.isfinite(x)
+    if finite.all():
+        return x, False
+    n_bad = int(x.size - np.count_nonzero(finite))
+    policy = guard.on_nonfinite
+    if policy is GuardPolicy.RAISE:
+        raise NumericsError("nonfinite", where, f"{n_bad} non-finite values")
+    report.nonfinite_tiles += 1
+    report.sanitized_values += n_bad
+    report.record(f"nonfinite:{where}:{n_bad}")
+    x = np.where(finite, x, 0.0)
+    return x, policy is GuardPolicy.FALLBACK
+
+
+def check_scale(
+    scale: np.ndarray,
+    where: str,
+    guard: GuardConfig,
+    report: GuardReport,
+) -> np.ndarray:
+    """Detect zero / underflowed / non-finite quantization scales.
+
+    Under ``sanitize`` (and ``fallback`` — for a stored span the original
+    floats are gone, so flooring is the only repair) bad entries are
+    replaced by ``guard.scale_floor``.
+    """
+    report.checks_run += 1
+    scale = np.asarray(scale, dtype=np.float64)
+    bad = ~np.isfinite(scale) | (scale < guard.scale_floor)
+    if not bad.any():
+        return scale
+    n_bad = int(np.count_nonzero(bad))
+    if guard.on_bad_scale is GuardPolicy.RAISE:
+        raise NumericsError("bad_scale", where, f"{n_bad} degenerate scales")
+    report.bad_scales += n_bad
+    report.record(f"bad_scale:{where}:{n_bad}")
+    return np.where(bad, guard.scale_floor, scale)
+
+
+def guarded_int_matmul(
+    a_codes: np.ndarray,
+    b_codes: np.ndarray,
+    where: str,
+    guard: GuardConfig,
+    report: GuardReport,
+) -> np.ndarray:
+    """Integer GEMM with a recoverable accumulator-headroom guard.
+
+    When the worst-case accumulator would use more than
+    ``guard.headroom_fraction`` of the INT32 range, ``raise`` surfaces a
+    :class:`NumericsError`; the other policies reroute through the exact
+    chunked-accumulation path (split-K partials summed in INT64) and
+    count the event.
+    """
+    report.checks_run += 1
+    if int32_headroom_ok(a_codes, b_codes, guard.headroom_fraction):
+        return int_matmul(a_codes, b_codes)
+    if guard.on_overflow is GuardPolicy.RAISE:
+        raise NumericsError("overflow", where, "int32 accumulator headroom exhausted")
+    report.overflow_chunked += 1
+    report.record(f"overflow_chunked:{where}")
+    return int_matmul(a_codes, b_codes, on_overflow="chunk")

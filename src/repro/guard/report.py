@@ -1,0 +1,148 @@
+"""Guard policy configuration and the run report.
+
+The analytic bounds in :mod:`repro.quant.bounds` say how far quantization
+*may* drift; this module is how the runtime reacts when a tile is outside
+the regime those bounds assume (non-finite values, degenerate scales, an
+accumulator with no headroom).  Each check carries one of three policies:
+
+* ``raise``    — fail loudly with a typed :class:`~repro.guard.errors.NumericsError`.
+* ``sanitize`` — repair in place (zero non-finite values, floor bad
+  scales) and count the repair.
+* ``fallback`` — repair, then reroute the offending tile/step through the
+  FP16 reference path and record that it happened.
+
+A :class:`GuardReport` accumulates counters across prefill and every
+decode step — the ``ClusterMetrics``-style observability surface the
+escalator and the harness read.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.guard.escalation import EscalationConfig
+
+__all__ = ["GuardPolicy", "GuardConfig", "GuardReport"]
+
+
+class GuardPolicy(str, enum.Enum):
+    """Reaction to a failed numerics check."""
+
+    RAISE = "raise"
+    SANITIZE = "sanitize"
+    FALLBACK = "fallback"
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Numerics-guard knobs.
+
+    Attributes
+    ----------
+    on_nonfinite:
+        Policy when a Q/K/V tile (or decode-step input) contains NaN/Inf.
+    on_bad_scale:
+        Policy when a quantization scale is non-finite, zero, or below
+        ``scale_floor``.  ``fallback`` behaves like ``sanitize`` for
+        cached spans — the original floats no longer exist, so the best
+        recovery is a floored scale — but is still counted separately.
+    on_overflow:
+        Policy when the worst-case INT32 accumulator for an integer GEMM
+        exceeds ``headroom_fraction`` of the INT32 range.  ``sanitize``
+        and ``fallback`` both reroute through chunked accumulation
+        (:func:`repro.quant.integer_gemm.int_matmul` with
+        ``on_overflow="chunk"``), which is exact.
+    scale_floor:
+        Smallest scale considered healthy.
+    headroom_fraction:
+        Fraction of the INT32 range the worst-case accumulator may use
+        before the overflow guard trips.
+    escalation:
+        Optional adaptive-precision escalation config
+        (:class:`repro.guard.escalation.EscalationConfig`); ``None``
+        disables escalation.
+    """
+
+    on_nonfinite: GuardPolicy = GuardPolicy.FALLBACK
+    on_bad_scale: GuardPolicy = GuardPolicy.SANITIZE
+    on_overflow: GuardPolicy = GuardPolicy.FALLBACK
+    scale_floor: float = 1e-30
+    headroom_fraction: float = 1.0
+    escalation: Optional["EscalationConfig"] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "on_nonfinite", GuardPolicy(self.on_nonfinite))
+        object.__setattr__(self, "on_bad_scale", GuardPolicy(self.on_bad_scale))
+        object.__setattr__(self, "on_overflow", GuardPolicy(self.on_overflow))
+        if not 0.0 < self.headroom_fraction <= 1.0:
+            raise ValueError("headroom_fraction must lie in (0, 1]")
+        if self.scale_floor <= 0.0:
+            raise ValueError("scale_floor must be positive")
+
+
+@dataclass
+class GuardReport:
+    """Mutable counters describing what the guards saw and did.
+
+    All counters are monotone; ``merge`` folds another report in (useful
+    when prefill and decode keep separate reports).
+    """
+
+    checks_run: int = 0
+    nonfinite_tiles: int = 0
+    sanitized_values: int = 0
+    bad_scales: int = 0
+    fallback_tiles: int = 0
+    fallback_steps: int = 0
+    overflow_chunked: int = 0
+    escalations: int = 0
+    deescalations: int = 0
+    hot_flushes: int = 0
+    bound_violations: int = 0
+    scale_regrows: int = 0
+    events: List[str] = field(default_factory=list)
+
+    #: Cap on retained event strings (counters keep counting past it).
+    max_events: int = 128
+
+    def record(self, event: str) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+
+    def merge(self, other: "GuardReport") -> "GuardReport":
+        for name in self._counter_names():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        for event in other.events:
+            self.record(event)
+        return self
+
+    @staticmethod
+    def _counter_names():
+        return (
+            "checks_run", "nonfinite_tiles", "sanitized_values", "bad_scales",
+            "fallback_tiles", "fallback_steps", "overflow_chunked",
+            "escalations", "deescalations", "hot_flushes",
+            "bound_violations", "scale_regrows",
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self._counter_names()}
+
+    @property
+    def clean(self) -> bool:
+        """True when no guard ever fired (checks may still have run)."""
+        return all(
+            getattr(self, name) == 0
+            for name in self._counter_names()
+            if name != "checks_run"
+        )
+
+    def summary(self) -> str:
+        fired = {k: v for k, v in self.as_dict().items() if k != "checks_run" and v}
+        if not fired:
+            return f"guard: clean ({self.checks_run} checks)"
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(fired.items()))
+        return f"guard: {inner} ({self.checks_run} checks)"

@@ -15,6 +15,7 @@ from repro.harness import (
     ablations,
     cluster,
     faults,
+    guard,
     needle,
     serving_sim,
     fig1,
@@ -48,6 +49,7 @@ RUNNERS = {
     "serving": serving_sim,
     "cluster": cluster,
     "faults": faults,
+    "guard": guard,
     "needle": needle,
 }
 

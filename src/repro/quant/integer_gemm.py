@@ -11,7 +11,11 @@ asymmetric quantization for storage only.
 bounded by 127 the worst-case accumulator magnitude is ``K * 127^2``, which
 stays inside int32 for any inner dimension up to ~133k — far beyond
 attention head dimensions — but the check is kept for safety because the
-decode path multiplies decompressed (possibly clamp-extended) codes.
+decode path multiplies decompressed (possibly clamp-extended) codes.  The
+guard is *recoverable*: ``on_overflow="chunk"`` splits the inner dimension
+into spans whose int32 partials cannot overflow and sums them in an int64
+accumulator — exactly the split-K + wide-accumulator trick a real kernel
+would use — instead of raising.
 """
 
 from __future__ import annotations
@@ -20,29 +24,73 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["int_matmul", "scaled_int_matmul"]
+__all__ = ["int_matmul", "int32_headroom_ok", "scaled_int_matmul"]
 
 _INT32_MAX = np.iinfo(np.int32).max
 
 
-def int_matmul(a_codes: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+def _worst_case_acc(a: np.ndarray, b: np.ndarray) -> int:
+    """Worst-case |accumulator| of ``a @ b`` from operand magnitudes."""
+    k = a.shape[-1]
+    return int(np.max(np.abs(a), initial=0)) * int(np.max(np.abs(b), initial=0)) * int(k)
+
+
+def int32_headroom_ok(
+    a_codes: np.ndarray, b_codes: np.ndarray, fraction: float = 1.0
+) -> bool:
+    """True when the worst-case accumulator of ``a @ b`` stays within
+    ``fraction`` of the int32 range (the numerics guard's headroom check)."""
+    a = np.asarray(a_codes)
+    b = np.asarray(b_codes)
+    return _worst_case_acc(a, b) <= int(fraction * _INT32_MAX)
+
+
+def _chunked_int_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Split-K integer MatMul: int32-safe chunks, int64 accumulation."""
+    k = a.shape[-1]
+    per_step = int(np.max(np.abs(a), initial=0)) * int(np.max(np.abs(b), initial=0))
+    if per_step > _INT32_MAX:
+        # A single product already overflows int32 — no K-split can help;
+        # the only recovery is a full-width accumulator throughout.
+        return a.astype(np.int64) @ b.astype(np.int64)
+    chunk = max(1, _INT32_MAX // max(per_step, 1))
+    out_shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) + (
+        a.shape[-2], b.shape[-1],
+    )
+    acc = np.zeros(out_shape, dtype=np.int64)
+    for s in range(0, k, chunk):
+        e = min(s + chunk, k)
+        acc += (a[..., s:e].astype(np.int32) @ b[..., s:e, :].astype(np.int32)).astype(
+            np.int64
+        )
+    return acc
+
+
+def int_matmul(
+    a_codes: np.ndarray, b_codes: np.ndarray, on_overflow: str = "raise"
+) -> np.ndarray:
     """Exact integer MatMul with int32 accumulation.
 
     Both operands must be integer arrays; they are widened to int32 before
-    the product, mirroring tensor-core IMMA semantics.  Raises
-    ``OverflowError`` if the worst-case accumulator could exceed int32.
+    the product, mirroring tensor-core IMMA semantics.  When the
+    worst-case accumulator could exceed int32, ``on_overflow`` selects the
+    reaction: ``"raise"`` (default) raises ``OverflowError``; ``"chunk"``
+    recovers exactly via :func:`_chunked_int_matmul` (split-K int32
+    partials summed in int64).
     """
+    if on_overflow not in ("raise", "chunk"):
+        raise ValueError(f"unknown on_overflow policy: {on_overflow!r}")
     a = np.asarray(a_codes)
     b = np.asarray(b_codes)
     if not np.issubdtype(a.dtype, np.integer) or not np.issubdtype(b.dtype, np.integer):
         raise TypeError("int_matmul requires integer operands")
-    k = a.shape[-1]
-    worst = (
-        int(np.max(np.abs(a), initial=0)) * int(np.max(np.abs(b), initial=0)) * int(k)
-    )
+    worst = _worst_case_acc(a, b)
     if worst > _INT32_MAX:
+        if on_overflow == "chunk":
+            return _chunked_int_matmul(a, b)
         raise OverflowError(
-            f"int32 accumulator could overflow: worst case {worst} for K={k}"
+            f"int32 accumulator could overflow: worst case {worst} for "
+            f"K={a.shape[-1]}"
         )
     return a.astype(np.int32) @ b.astype(np.int32)
 

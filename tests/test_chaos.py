@@ -1,0 +1,326 @@
+"""Corruption-safe persistence under the seeded chaos injector.
+
+Every corruption kind × stealth mode must end in one of exactly two
+outcomes: *detected* (a typed :class:`CacheCorruptionError` from strict
+loading) or *salvaged* (a valid sequence prefix plus the exact token
+ranges needing recompute).  The one deliberate exception — a stealthy bit
+flip re-stamps the checksum over data that remains valid-by-construction —
+is the argument for computing checksums at write time, and is pinned here
+as such.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TurboAttention, TurboConfig
+from repro.core.serialization import (
+    SCHEMA_VERSION,
+    load_state,
+    salvage_state,
+    save_state,
+    state_from_arrays,
+    state_to_arrays,
+)
+from repro.guard import (
+    CORRUPTION_KINDS,
+    CacheCorruptionError,
+    ChaosInjector,
+    ChecksumMismatchError,
+    GeometryError,
+    SchemaError,
+    array_crc32,
+    checksum_key,
+    is_checksum_key,
+)
+
+
+@pytest.fixture
+def state(rng):
+    """2 full cache blocks + 24 staged buffer tokens (88 tokens total)."""
+    h, n, d = 4, 88, 32
+    q, k, v = (rng.standard_normal((h, n, d)) for _ in range(3))
+    turbo = TurboAttention(TurboConfig(block_q=32, block_k=32, buffer_size=32))
+    _, st = turbo.prefill(q, k, v)
+    return st
+
+
+@pytest.fixture
+def arrays(state):
+    return state_to_arrays(state)
+
+
+class TestChecksums:
+    def test_every_payload_array_is_checksummed(self, arrays):
+        payload = [k for k in arrays if not is_checksum_key(k)]
+        for key in payload:
+            assert checksum_key(key) in arrays
+            assert int(arrays[checksum_key(key)]) == array_crc32(arrays[key])
+
+    def test_checksum_covers_dtype_and_shape(self):
+        a = np.arange(6, dtype=np.int64)
+        assert array_crc32(a) != array_crc32(a.astype(np.int32))
+        assert array_crc32(a) != array_crc32(a.reshape(2, 3))
+
+    def test_checksums_optional(self, state):
+        arrays = state_to_arrays(state, checksums=False)
+        assert not any(is_checksum_key(k) for k in arrays)
+        # Without the schema-v2 checksum contract this dict is not loadable
+        # as v2 — the schema tag demands CRCs.
+        with pytest.raises(SchemaError):
+            state_from_arrays(arrays)
+
+
+class TestChaosMatrix:
+    """The acceptance matrix: detected, typed, or salvaged — never silent."""
+
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    @pytest.mark.parametrize("stealth", [False, True])
+    def test_no_silent_wrong_output(self, arrays, state, kind, stealth):
+        total = state.seq_len
+        for seed in range(5):
+            corrupted, event = ChaosInjector(seed=seed).corrupt(
+                arrays, kind, stealth=stealth
+            )
+            assert event.kind == kind
+            detected = None
+            try:
+                state_from_arrays(corrupted)
+            except CacheCorruptionError as err:
+                detected = err
+            if detected is None:
+                # Only a stealthy bit flip may pass strict load: the
+                # flipped packed code is valid data with a matching CRC.
+                assert kind == "bit_flip" and stealth
+            res = salvage_state(corrupted)
+            # Salvage always yields a valid prefix with exact accounting.
+            kept = res.recovered_tokens + (
+                len(res.state.buffer) if not res.buffer_dropped else 0
+            )
+            if res.recompute_ranges:
+                starts = [s for s, _ in res.recompute_ranges]
+                ends = [e for _, e in res.recompute_ranges]
+                assert starts[0] == res.state.seq_len
+                assert ends[-1] == total
+            else:
+                assert res.intact or (kind == "bit_flip" and stealth)
+
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    def test_stale_crc_always_detected_with_typed_error(self, arrays, kind):
+        """A realistic storage fault (checksum now stale) never loads."""
+        corrupted, _ = ChaosInjector(seed=3).corrupt(arrays, kind, stealth=False)
+        with pytest.raises(CacheCorruptionError):
+            state_from_arrays(corrupted)
+
+    def test_bit_flip_detected_by_checksum(self, arrays):
+        corrupted, event = ChaosInjector(seed=0).corrupt(arrays, "bit_flip")
+        with pytest.raises(ChecksumMismatchError) as exc:
+            state_from_arrays(corrupted)
+        assert exc.value.key == event.key
+
+    def test_truncation_detected_as_schema_error(self, arrays):
+        corrupted, event = ChaosInjector(seed=0).corrupt(arrays, "truncate")
+        assert event.key not in corrupted
+        with pytest.raises(SchemaError):
+            state_from_arrays(corrupted)
+
+    def test_stealth_scale_zero_detected_semantically(self, arrays):
+        """With a re-stamped CRC, only the value validator can object."""
+        for seed in range(5):
+            corrupted, _ = ChaosInjector(seed=seed).corrupt(
+                arrays, "scale_zero", stealth=True
+            )
+            with pytest.raises(CacheCorruptionError):
+                state_from_arrays(corrupted)
+
+    def test_injector_is_deterministic(self, arrays):
+        _, e1 = ChaosInjector(seed=9).corrupt(arrays, "bit_flip")
+        _, e2 = ChaosInjector(seed=9).corrupt(arrays, "bit_flip")
+        assert (e1.key, e1.detail) == (e2.key, e2.detail)
+
+    def test_unknown_kind_rejected(self, arrays):
+        with pytest.raises(ValueError):
+            ChaosInjector().corrupt(arrays, "gamma_ray")
+
+    def test_input_dict_not_mutated(self, arrays):
+        before = {k: v.copy() for k, v in arrays.items()}
+        ChaosInjector(seed=1).corrupt(arrays, "scale_zero")
+        assert set(arrays) == set(before)
+        for k in before:
+            np.testing.assert_array_equal(arrays[k], before[k])
+
+
+class TestSalvage:
+    def test_intact_state_salvages_fully(self, arrays, state):
+        res = salvage_state(arrays)
+        assert res.intact
+        assert not res.recompute_ranges
+        assert res.state.seq_len == state.seq_len
+        assert "intact" in res.summary()
+
+    def test_corrupt_block_truncates_prefix(self, arrays, state):
+        bad = dict(arrays)
+        bad["block1.length"] = np.asarray(10**6, dtype=np.int64)
+        # Re-stamp the CRC so the *geometry* validator (not the checksum)
+        # is what catches the bad length.
+        bad[checksum_key("block1.length")] = np.asarray(
+            array_crc32(bad["block1.length"]), dtype=np.uint32
+        )
+        res = salvage_state(bad)
+        assert res.dropped_blocks == [1]
+        assert res.buffer_dropped  # staged tokens sit after the gap
+        assert res.state.seq_len == 32
+        assert res.recompute_ranges == [(32, state.seq_len)]
+        assert res.errors and isinstance(res.errors[0], GeometryError)
+
+    def test_corrupt_buffer_keeps_blocks(self, arrays, state):
+        bad = dict(arrays)
+        sc = bad["buffer.k_scale"].copy()
+        sc[0] = np.nan
+        bad["buffer.k_scale"] = sc
+        res = salvage_state(bad)
+        assert not res.dropped_blocks
+        assert res.buffer_dropped
+        assert res.state.seq_len == 64  # both blocks survive
+        assert res.recompute_ranges == [(64, state.seq_len)]
+
+    def test_corrupt_meta_is_unsalvageable(self, arrays):
+        bad = dict(arrays)
+        del bad["meta.n_heads"]
+        with pytest.raises(CacheCorruptionError):
+            salvage_state(bad)
+
+    def test_salvaged_state_decodes(self, arrays, rng):
+        """The recovered prefix is a live, decodable state."""
+        bad = dict(arrays)
+        bad["block1.length"] = np.asarray(-3, dtype=np.int64)
+        res = salvage_state(bad)
+        turbo = TurboAttention(TurboConfig(block_q=32, block_k=32, buffer_size=32))
+        out = turbo.decode_step(
+            rng.standard_normal((4, 32)), rng.standard_normal((4, 32)),
+            rng.standard_normal((4, 32)), res.state,
+        )
+        assert np.isfinite(out).all()
+
+    def test_file_roundtrip_with_salvage(self, state, arrays, tmp_path):
+        path = tmp_path / "kv.npz"
+        save_state(path, state)
+        res = load_state(path, salvage=True)
+        assert res.intact
+        # Corrupt the file's arrays and persist again.
+        corrupted, _ = ChaosInjector(seed=2).corrupt(arrays, "scale_zero")
+        np.savez(tmp_path / "bad.npz", **corrupted)
+        with pytest.raises(CacheCorruptionError):
+            load_state(tmp_path / "bad.npz")
+        res = load_state(tmp_path / "bad.npz", salvage=True)
+        assert res.recompute_ranges or res.intact
+
+
+class TestValidation:
+    def test_schema_tag_round_trip(self, arrays):
+        assert int(arrays["meta.schema"]) == SCHEMA_VERSION
+
+    def test_future_schema_rejected(self, arrays):
+        bad = dict(arrays)
+        bad["meta.schema"] = np.asarray(SCHEMA_VERSION + 1, dtype=np.int64)
+        with pytest.raises(SchemaError, match="unsupported schema"):
+            state_from_arrays(bad)
+
+    def test_not_a_state_rejected(self):
+        with pytest.raises(SchemaError):
+            state_from_arrays({"foo": np.zeros(3)})
+
+    def test_staged_tokens_exceeding_capacity_is_typed_error(self, arrays):
+        """The satellite bugfix: a cache saved with a larger buffer than
+        the restoring config must raise a clear error, not a raw
+        broadcast failure."""
+        bad = dict(arrays)
+        bad["buffer.capacity"] = np.asarray(8, dtype=np.int64)  # < 24 staged
+        bad[checksum_key("buffer.capacity")] = np.asarray(
+            array_crc32(bad["buffer.capacity"]), dtype=np.uint32
+        )
+        with pytest.raises(GeometryError, match="staged tokens"):
+            state_from_arrays(bad)
+
+    def test_seq_len_mismatch_rejected(self, arrays):
+        bad = dict(arrays)
+        bad["meta.seq_len"] = np.asarray(10**6, dtype=np.int64)
+        bad[checksum_key("meta.seq_len")] = np.asarray(
+            array_crc32(bad["meta.seq_len"]), dtype=np.uint32
+        )
+        with pytest.raises(GeometryError, match="seq_len"):
+            state_from_arrays(bad)
+
+    def test_illegal_head_bits_rejected(self, arrays):
+        bad = dict(arrays)
+        hb = bad["meta.head_bits"].copy()
+        hb[0] = 7
+        bad["meta.head_bits"] = hb
+        bad[checksum_key("meta.head_bits")] = np.asarray(
+            array_crc32(hb), dtype=np.uint32
+        )
+        with pytest.raises(CacheCorruptionError, match="bit-width"):
+            state_from_arrays(bad)
+
+    def test_legacy_tagless_dict_still_loads(self, arrays, state):
+        """Schema-v1 files (no tag, no CRCs) get geometry validation only."""
+        legacy = {
+            k: v for k, v in arrays.items()
+            if not is_checksum_key(k) and k not in ("meta.schema", "meta.seq_len")
+        }
+        restored = state_from_arrays(legacy)
+        assert restored.seq_len == state.seq_len
+
+    def test_legacy_dict_still_value_validated(self, arrays):
+        legacy = {
+            k: v for k, v in arrays.items()
+            if not is_checksum_key(k) and k not in ("meta.schema", "meta.seq_len")
+        }
+        sc = legacy["buffer.v_scale"].copy()
+        sc[:] = -1.0
+        legacy["buffer.v_scale"] = sc
+        with pytest.raises(CacheCorruptionError):
+            state_from_arrays(legacy)
+
+
+class TestRestoreAPI:
+    """The public DecodeBuffer.restore entry point (satellite refactor)."""
+
+    def _buffer(self, h=2, d=8, cap=16):
+        from repro.core import DecodeBuffer
+
+        return DecodeBuffer(
+            h, d, capacity=cap,
+            k_scale=np.full((h, 1, 1), 0.05), v_scale=np.full((h, 1, 1), 0.05),
+        )
+
+    def test_restore_round_trip(self, rng):
+        buf = self._buffer()
+        codes = rng.integers(-119, 120, size=(2, 5, 8)).astype(np.int8)
+        buf.restore(codes, codes)
+        assert len(buf) == 5
+        np.testing.assert_array_equal(buf.codes()[0], codes)
+
+    def test_restore_over_capacity_rejected(self, rng):
+        buf = self._buffer(cap=4)
+        codes = rng.integers(-10, 10, size=(2, 5, 8)).astype(np.int8)
+        with pytest.raises(ValueError, match="capacity"):
+            buf.restore(codes, codes)
+
+    def test_restore_shape_mismatch_rejected(self, rng):
+        buf = self._buffer()
+        k = rng.integers(-10, 10, size=(2, 3, 8)).astype(np.int8)
+        v = rng.integers(-10, 10, size=(2, 4, 8)).astype(np.int8)
+        with pytest.raises(ValueError, match="match"):
+            buf.restore(k, v)
+        with pytest.raises(ValueError):
+            buf.restore(k[:1], v[:1])
+
+    def test_restore_resets_saturation_window(self):
+        buf = self._buffer()
+        buf.append(np.full((2, 8), 100.0), np.zeros((2, 8)))  # clamps hard
+        assert buf.window_clamp_fraction().max() > 0
+        buf.restore(
+            np.zeros((2, 2, 8), dtype=np.int8), np.zeros((2, 2, 8), dtype=np.int8)
+        )
+        assert buf.window_clamp_fraction().max() == 0.0
+        assert len(buf) == 2

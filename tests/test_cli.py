@@ -52,3 +52,11 @@ class TestCommands:
         assert main(["harness", "fig5", "--quick"]) == 0
         out = capsys.readouterr().out
         assert "POLY" in out
+
+    def test_guard(self, capsys):
+        assert main(["guard", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos persistence matrix" in out
+        assert "silent wrong output cases: 0" in out
+        assert "VIOLATED" in out  # the no-guard run demonstrably breaks the bound
+        assert "within bound" in out

@@ -1,0 +1,425 @@
+"""Tests for the numerics guard: policies, counters, recoverable overflow,
+adaptive precision escalation, and the guarded prefill/decode kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import TurboAttention, TurboConfig
+from repro.guard import (
+    EscalationConfig,
+    GuardConfig,
+    GuardPolicy,
+    GuardReport,
+    NumericsError,
+    PrecisionEscalator,
+    check_finite_tile,
+    check_scale,
+    guarded_int_matmul,
+)
+from repro.quant.integer_gemm import int32_headroom_ok, int_matmul
+
+
+class TestGuardConfig:
+    def test_policies_coerce_from_strings(self):
+        g = GuardConfig(on_nonfinite="raise", on_bad_scale="sanitize",
+                        on_overflow="fallback")
+        assert g.on_nonfinite is GuardPolicy.RAISE
+        assert g.on_bad_scale is GuardPolicy.SANITIZE
+        assert g.on_overflow is GuardPolicy.FALLBACK
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(on_nonfinite="explode")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            GuardConfig(headroom_fraction=0.0)
+        with pytest.raises(ValueError):
+            GuardConfig(headroom_fraction=1.5)
+        with pytest.raises(ValueError):
+            GuardConfig(scale_floor=0.0)
+
+
+class TestGuardReport:
+    def test_clean_and_summary(self):
+        r = GuardReport()
+        r.checks_run = 7
+        assert r.clean
+        assert "clean" in r.summary()
+        r.bad_scales = 2
+        assert not r.clean
+        assert "bad_scales=2" in r.summary()
+
+    def test_merge_adds_counters_and_events(self):
+        a, b = GuardReport(), GuardReport()
+        a.fallback_tiles = 1
+        b.fallback_tiles = 2
+        b.record("x")
+        a.merge(b)
+        assert a.fallback_tiles == 3
+        assert a.events == ["x"]
+
+    def test_event_cap(self):
+        r = GuardReport()
+        for i in range(r.max_events + 50):
+            r.record(f"e{i}")
+        assert len(r.events) == r.max_events
+
+
+class TestCheckFiniteTile:
+    def test_clean_tile_passthrough(self):
+        g, r = GuardConfig(), GuardReport()
+        x = np.ones((2, 3))
+        out, fb = check_finite_tile(x, "t", g, r)
+        assert not fb
+        np.testing.assert_array_equal(out, x)
+        assert r.checks_run == 1 and r.clean
+
+    def test_raise_policy(self):
+        g, r = GuardConfig(on_nonfinite="raise"), GuardReport()
+        x = np.array([1.0, np.nan])
+        with pytest.raises(NumericsError, match="nonfinite"):
+            check_finite_tile(x, "t", g, r)
+
+    def test_sanitize_zeroes_and_counts(self):
+        g, r = GuardConfig(on_nonfinite="sanitize"), GuardReport()
+        x = np.array([1.0, np.nan, np.inf, -np.inf])
+        out, fb = check_finite_tile(x, "t", g, r)
+        assert not fb  # sanitize repairs without requesting a fallback
+        np.testing.assert_array_equal(out, [1.0, 0.0, 0.0, 0.0])
+        assert r.nonfinite_tiles == 1
+        assert r.sanitized_values == 3
+
+    def test_fallback_requests_reroute(self):
+        g, r = GuardConfig(on_nonfinite="fallback"), GuardReport()
+        out, fb = check_finite_tile(np.array([np.nan]), "t", g, r)
+        assert fb
+        assert np.isfinite(out).all()
+
+
+class TestCheckScale:
+    def test_clean_scale_passthrough(self):
+        g, r = GuardConfig(), GuardReport()
+        s = np.array([0.5, 1.0])
+        np.testing.assert_array_equal(check_scale(s, "t", g, r), s)
+        assert r.clean
+
+    def test_raise_policy(self):
+        g, r = GuardConfig(on_bad_scale="raise"), GuardReport()
+        with pytest.raises(NumericsError, match="bad_scale"):
+            check_scale(np.array([0.0]), "t", g, r)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf, 1e-40])
+    def test_sanitize_floors_degenerate(self, bad):
+        g, r = GuardConfig(on_bad_scale="sanitize"), GuardReport()
+        out = check_scale(np.array([bad, 1.0]), "t", g, r)
+        assert out[0] == g.scale_floor
+        assert out[1] == 1.0
+        assert r.bad_scales == 1
+
+
+class TestRecoverableOverflow:
+    def _overflowing(self):
+        # 2^20 * 2^20 * 8 = 2^43 >> int32: the legacy path must raise.
+        a = np.full((2, 8), 1 << 20, dtype=np.int64)
+        b = np.full((8, 3), 1 << 20, dtype=np.int64)
+        return a, b
+
+    def test_headroom_check(self):
+        a, b = self._overflowing()
+        assert not int32_headroom_ok(a, b)
+        small = np.full((2, 8), 100, dtype=np.int32)
+        assert int32_headroom_ok(small, small.T)
+        # A tighter fraction trips earlier.
+        assert not int32_headroom_ok(small, small.T, fraction=1e-6)
+
+    def test_raise_default_unchanged(self):
+        a, b = self._overflowing()
+        with pytest.raises(OverflowError):
+            int_matmul(a, b)
+
+    def test_chunked_fallback_is_exact(self):
+        a, b = self._overflowing()
+        out = int_matmul(a, b, on_overflow="chunk")
+        ref = a.astype(np.int64) @ b.astype(np.int64)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_chunked_matches_direct_when_safe(self, rng):
+        a = rng.integers(-127, 128, size=(3, 4, 16)).astype(np.int8)
+        b = rng.integers(-127, 128, size=(3, 16, 5)).astype(np.int8)
+        np.testing.assert_array_equal(
+            int_matmul(a, b), int_matmul(a, b, on_overflow="chunk")
+        )
+
+    def test_unknown_policy_rejected(self):
+        a = np.ones((2, 2), dtype=np.int8)
+        with pytest.raises(ValueError):
+            int_matmul(a, a, on_overflow="pray")
+
+    def test_guarded_matmul_counts_chunking(self):
+        a, b = self._overflowing()
+        g, r = GuardConfig(on_overflow="fallback"), GuardReport()
+        out = guarded_int_matmul(a, b, "t", g, r)
+        np.testing.assert_array_equal(out, a.astype(np.int64) @ b.astype(np.int64))
+        assert r.overflow_chunked == 1
+
+    def test_guarded_matmul_raise_policy(self):
+        a, b = self._overflowing()
+        g, r = GuardConfig(on_overflow="raise"), GuardReport()
+        with pytest.raises(NumericsError, match="overflow"):
+            guarded_int_matmul(a, b, "t", g, r)
+
+
+class TestPrecisionEscalator:
+    def _codes(self, rng, h, t=8, d=4):
+        return rng.integers(-100, 101, size=(h, t, d)).astype(np.int32)
+
+    def _cool_flush(self, esc, rng, report=None):
+        """A flush that cannot run hot: zero clamping, 8-bit-exact codes."""
+        codes = self._codes(rng, esc.head_bits.shape[0])
+        scale = np.full(codes.shape[0], 0.01)
+        return esc.observe_flush(
+            codes, codes, scale, scale, np.zeros(codes.shape[0]), report
+        )
+
+    def _hot_flush(self, esc, rng, heads, report=None):
+        codes = self._codes(rng, esc.head_bits.shape[0])
+        scale = np.full(codes.shape[0], 0.01)
+        frac = np.where(np.asarray(heads, bool), 1.0, 0.0)
+        return esc.observe_flush(codes, codes, scale, scale, frac, report)
+
+    def test_snaps_assignments_onto_ladder(self):
+        cfg = EscalationConfig(ladder=(4, 8))
+        esc = PrecisionEscalator(cfg, np.array([2, 4, 8]))
+        np.testing.assert_array_equal(esc.head_bits, [4, 4, 8])
+
+    def test_clamp_hot_head_escalates_after_patience(self, rng):
+        cfg = EscalationConfig(quality_bits=2, patience=2, clamp_threshold=0.01)
+        esc = PrecisionEscalator(cfg, np.array([4, 4]))
+        r = GuardReport()
+        d1 = self._hot_flush(esc, rng, [True, False], r)
+        assert not d1.changed  # streak 1 < patience
+        d2 = self._hot_flush(esc, rng, [True, False], r)
+        assert d2.changed
+        np.testing.assert_array_equal(d2.head_bits, [8, 4])
+        assert r.escalations == 1
+        assert r.hot_flushes == 2
+
+    def test_bound_violation_escalates_without_clamping(self, rng):
+        # quality target = 8-bit bound, but heads store at 2 bits: the
+        # measured error alone must trip the escalator.
+        cfg = EscalationConfig(quality_bits=8, patience=1)
+        esc = PrecisionEscalator(cfg, np.array([2, 2]))
+        r = GuardReport()
+        d = self._hot_flush(esc, rng, [False, False], r)
+        assert d.changed
+        np.testing.assert_array_equal(d.head_bits, [4, 4])
+        assert r.bound_violations > 0
+
+    def test_top_of_ladder_saturates(self, rng):
+        cfg = EscalationConfig(quality_bits=2, patience=1)
+        esc = PrecisionEscalator(cfg, np.array([8, 8]))
+        d = self._hot_flush(esc, rng, [True, True])
+        assert not d.changed
+        np.testing.assert_array_equal(d.head_bits, [8, 8])
+
+    def test_deescalates_after_cooldown_never_below_floor(self, rng):
+        cfg = EscalationConfig(quality_bits=2, patience=1, cooldown=3,
+                               clamp_threshold=0.5)
+        esc = PrecisionEscalator(cfg, np.array([4, 4]))
+        self._hot_flush(esc, rng, [True, True])  # 4 -> 8
+        np.testing.assert_array_equal(esc.head_bits, [8, 8])
+        r = GuardReport()
+        for _ in range(cfg.cooldown):
+            d = self._cool_flush(esc, rng, r)
+        np.testing.assert_array_equal(d.head_bits, [4, 4])  # back to floor
+        assert r.deescalations == 2
+        for _ in range(cfg.cooldown + 1):
+            d = self._cool_flush(esc, rng)
+        np.testing.assert_array_equal(d.head_bits, [4, 4])  # floor holds
+
+    def test_streaks_reset_on_transition(self, rng):
+        cfg = EscalationConfig(quality_bits=2, patience=2, clamp_threshold=0.5)
+        esc = PrecisionEscalator(cfg, np.array([2]))
+        self._hot_flush(esc, rng, [True])
+        d = self._hot_flush(esc, rng, [True])  # 2 -> 4 after 2 hot flushes
+        np.testing.assert_array_equal(d.head_bits, [4])
+        d = self._hot_flush(esc, rng, [True])  # streak restarted: only 1 hot
+        assert not d.changed
+
+    def test_grow_scale_flag(self, rng):
+        cfg = EscalationConfig(quality_bits=2, patience=1, grow_scale=False)
+        esc = PrecisionEscalator(cfg, np.array([4, 4]))
+        d = self._hot_flush(esc, rng, [True, False])
+        assert not d.clamp_hot.any()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EscalationConfig(ladder=(4,))
+        with pytest.raises(ValueError):
+            EscalationConfig(ladder=(8, 4))
+        with pytest.raises(ValueError):
+            EscalationConfig(ladder=(2, 5))
+        with pytest.raises(ValueError):
+            EscalationConfig(clamp_threshold=1.5)
+        with pytest.raises(ValueError):
+            EscalationConfig(patience=0)
+        with pytest.raises(ValueError):
+            EscalationConfig(error_margin=0.0)
+
+
+class TestGuardedKernels:
+    """The guard threaded through the real prefill/decode paths."""
+
+    def _small(self, rng, h=2, n=48, d=16):
+        return (
+            rng.standard_normal((h, n, d)),
+            rng.standard_normal((h, n, d)),
+            rng.standard_normal((h, n, d)),
+        )
+
+    def _config(self):
+        return TurboConfig(block_q=16, block_k=16, buffer_size=16)
+
+    def test_clean_inputs_identical_with_and_without_guard(self, rng):
+        q, k, v = self._small(rng)
+        base = TurboAttention(self._config())
+        guarded = TurboAttention(self._config(), guard=GuardConfig())
+        out_a, st_a = base.prefill(q, k, v)
+        out_b, st_b = guarded.prefill(q, k, v)
+        np.testing.assert_array_equal(out_a, out_b)
+        assert st_b.report is not None and st_b.report.clean
+        q1, k1, v1 = (rng.standard_normal((2, 16)) for _ in range(3))
+        np.testing.assert_array_equal(
+            base.decode_step(q1, k1, v1, st_a),
+            guarded.decode_step(q1, k1, v1, st_b),
+        )
+
+    def test_prefill_nan_raise_policy(self, rng):
+        q, k, v = self._small(rng)
+        k[0, 3, 5] = np.nan
+        turbo = TurboAttention(self._config(), guard=GuardConfig(on_nonfinite="raise"))
+        with pytest.raises(NumericsError):
+            turbo.prefill(q, k, v)
+
+    def test_prefill_nan_fallback_produces_finite_output(self, rng):
+        q, k, v = self._small(rng)
+        k[0, 3, 5] = np.nan
+        v[1, 20, 0] = np.inf
+        q[0, 40, 2] = -np.inf
+        turbo = TurboAttention(self._config(), guard=GuardConfig())
+        out, st = turbo.prefill(q, k, v)
+        assert np.isfinite(out).all()
+        r = st.report
+        assert r.nonfinite_tiles >= 3
+        assert r.fallback_tiles >= 3
+        assert r.sanitized_values == 3
+        # The poisoned lanes never reach the quantizer: stored state is clean.
+        for block in st.cache.blocks:
+            assert np.isfinite(block.k.float_scale).all()
+        assert np.isfinite(st.buffer.k_scale).all()
+
+    def test_prefill_fallback_matches_sanitized_reference(self, rng):
+        """A guarded run on poisoned inputs equals an unguarded run on the
+        pre-sanitized inputs everywhere the integer path still ran."""
+        q, k, v = self._small(rng)
+        k_bad = k.copy()
+        k_bad[0, 3, 5] = np.nan
+        k_ref = k.copy()
+        k_ref[0, 3, 5] = 0.0
+        guarded = TurboAttention(self._config(), guard=GuardConfig())
+        base = TurboAttention(self._config())
+        out_g, _ = guarded.prefill(q, k_bad, v)
+        out_r, _ = base.prefill(q, k_ref, v)
+        # Same sanitized floats, but the flagged K-tile runs FP16 in the
+        # guarded path — allow the FP16-vs-INT8 tile difference only.
+        assert np.abs(out_g - out_r).max() < 0.05
+
+    def test_decode_nan_fallback_step(self, rng):
+        q, k, v = self._small(rng)
+        turbo = TurboAttention(self._config(), guard=GuardConfig())
+        _, st = turbo.prefill(q, k, v)
+        q1, k1, v1 = (rng.standard_normal((2, 16)) for _ in range(3))
+        q1[0, 3] = np.nan
+        out = turbo.decode_step(q1, k1, v1, st)
+        assert np.isfinite(out).all()
+        assert st.report.fallback_steps == 1
+        # The fallback path approximates the exact FP attention closely.
+        q_ref = q1.copy()
+        q_ref[0, 3] = 0.0
+        k_all = np.concatenate([k, k1[:, None, :]], axis=-2)
+        v_all = np.concatenate([v, v1[:, None, :]], axis=-2)
+        s = np.einsum("hd,hnd->hn", q_ref, k_all) / np.sqrt(16)
+        p = np.exp(s - s.max(axis=-1, keepdims=True))
+        p /= p.sum(axis=-1, keepdims=True)
+        exact = np.einsum("hn,hnd->hd", p, v_all)
+        # The fallback dequantizes the *stored* history, so INT4-block
+        # reconstruction error is still present — only the integer
+        # score/output arithmetic is removed for the poisoned step.
+        assert np.abs(out - exact).max() < 0.2
+
+    def test_decode_nan_raise_policy(self, rng):
+        q, k, v = self._small(rng)
+        turbo = TurboAttention(
+            self._config(), guard=GuardConfig(on_nonfinite="raise")
+        )
+        _, st = turbo.prefill(q, k, v)
+        k1 = rng.standard_normal((2, 16))
+        k1[1, 0] = np.inf
+        with pytest.raises(NumericsError):
+            turbo.decode_step(rng.standard_normal((2, 16)), k1,
+                              rng.standard_normal((2, 16)), st)
+
+    def test_decode_degenerate_span_scale_sanitized(self, rng):
+        q, k, v = self._small(rng)
+        turbo = TurboAttention(self._config(), guard=GuardConfig())
+        _, st = turbo.prefill(q, k, v)
+        # Corrupt a stored block scale in place (what a bad restore or a
+        # stealthy corruption would present at decode time).
+        st.cache.blocks[0].k.float_scale[0] = 0.0
+        out = turbo.decode_step(*(rng.standard_normal((2, 16)) for _ in range(3)),
+                                st)
+        assert np.isfinite(out).all()
+        assert st.report.bad_scales >= 1
+
+    def test_escalation_reported_through_state(self, rng):
+        """An outlier-heavy decode stream escalates widths and regrows the
+        frozen scale, all visible on the state's report."""
+        cfg = TurboConfig(block_q=16, block_k=16, buffer_size=8, kv_bits=4)
+        guard = GuardConfig(
+            escalation=EscalationConfig(quality_bits=8, patience=1,
+                                        clamp_threshold=0.02)
+        )
+        turbo = TurboAttention(cfg, guard=guard)
+        q, k, v = self._small(rng, n=16)
+        _, st = turbo.prefill(q, k, v)
+        assert st.escalator is not None
+        for _ in range(32):
+            turbo.decode_step(
+                rng.standard_normal((2, 16)),
+                rng.standard_normal((2, 16)),
+                30.0 + rng.standard_normal((2, 16)),
+                st,
+            )
+        r = st.report
+        assert r.escalations > 0
+        assert r.scale_regrows > 0
+        assert (st.head_bits > 4).any()
+        # The cache's policy view and the state's stayed in sync.
+        np.testing.assert_array_equal(st.head_bits, st.cache.head_bits)
+        # Later blocks carry wider bit arrays than the first ones.
+        assert st.cache.blocks[-1].k.bits.max() > st.cache.blocks[0].k.bits.max()
+
+    def test_split_k_decode_unaffected(self, rng):
+        """The split-K path takes no guard and must behave as before."""
+        from repro.core import turbo_decode_step_split_k
+
+        q, k, v = self._small(rng)
+        turbo = TurboAttention(self._config())
+        _, st = turbo.prefill(q, k, v)
+        out = turbo_decode_step_split_k(
+            rng.standard_normal((2, 16)), rng.standard_normal((2, 16)),
+            rng.standard_normal((2, 16)), cache=st.cache, buffer=st.buffer,
+            config=turbo.config, n_splits=2,
+        )
+        assert np.isfinite(out).all()

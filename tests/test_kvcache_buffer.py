@@ -85,6 +85,52 @@ class TestQuantizedKVCache:
         assert cache.storage_bits == 0
         assert cache.compression_ratio() == 1.0
 
+    def test_set_head_bits_affects_future_blocks_only(self, rng):
+        cache = self._cache(bits=2)
+        kc, ks = _tile(rng)
+        vc, vs = _tile(rng)
+        cache.append_block(kc, vc, ks, vs)
+        cache.set_head_bits(np.full(2, 8, dtype=np.int32))
+        cache.append_block(kc, vc, ks, vs)
+        assert cache.blocks[0].k.bits.max() == 2  # existing block untouched
+        assert cache.blocks[1].k.bits.min() == 8
+        assert cache.blocks[1].storage_bits > cache.blocks[0].storage_bits
+
+    def test_set_head_bits_validation(self):
+        cache = self._cache()
+        with pytest.raises(ValueError):
+            cache.set_head_bits(np.array([4, 4, 4]))  # wrong head count
+        with pytest.raises(ValueError):
+            cache.set_head_bits(np.array([4, 7]))  # illegal width
+
+    def test_mixed_width_blocks_serialize(self, rng):
+        """Escalation mid-stream leaves blocks of different widths in one
+        cache; the serializer must round-trip them bit-for-bit."""
+        from repro.core import TurboAttention, TurboConfig
+        from repro.core.serialization import state_from_arrays, state_to_arrays
+        from repro.guard import EscalationConfig, GuardConfig
+
+        cfg = TurboConfig(block_q=16, block_k=16, buffer_size=8, kv_bits=4)
+        guard = GuardConfig(
+            escalation=EscalationConfig(quality_bits=8, patience=1)
+        )
+        turbo = TurboAttention(cfg, guard=guard)
+        h, d = 2, 16
+        _, st = turbo.prefill(*(rng.standard_normal((h, 16, d)) for _ in range(3)))
+        for _ in range(24):
+            turbo.decode_step(
+                rng.standard_normal((h, d)), rng.standard_normal((h, d)),
+                25.0 + rng.standard_normal((h, d)), st,
+            )
+        widths = {int(b.k.bits.max()) for b in st.cache.blocks}
+        assert len(widths) > 1  # genuinely mixed-width cache
+        restored = state_from_arrays(state_to_arrays(st))
+        assert restored.seq_len == st.seq_len
+        for a, b in zip(st.cache.blocks, restored.cache.blocks):
+            np.testing.assert_array_equal(a.k.bits, b.k.bits)
+            np.testing.assert_array_equal(a.k.codes, b.k.codes)
+            np.testing.assert_array_equal(a.v.codes, b.v.codes)
+
 
 class TestDecodeBuffer:
     def _buffer(self, h=2, d=16, cap=8):
@@ -153,3 +199,146 @@ class TestDecodeBuffer:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             DecodeBuffer(1, 4, capacity=0, k_scale=np.ones((1, 1, 1)), v_scale=np.ones((1, 1, 1)))
+
+
+class TestSaturationAccounting:
+    """Per-head clamp accounting feeding the adaptive-precision escalator."""
+
+    def _buffer(self, h=2, d=16, cap=8):
+        return DecodeBuffer(
+            h, d, capacity=cap,
+            k_scale=np.full((h, 1, 1), 0.05),
+            v_scale=np.full((h, 1, 1), 0.05),
+        )
+
+    def test_clamped_total_exact_under_known_outliers(self):
+        buf = self._buffer()
+        k = np.zeros((2, 16))
+        k[0, :3] = 100.0  # 3 outliers, head 0, K side only
+        buf.append(k, np.zeros((2, 16)))
+        assert buf.clamped_total == 3
+        v = np.zeros((2, 16))
+        v[1, :5] = -100.0  # 5 outliers, head 1, V side
+        buf.append(np.zeros((2, 16)), v)
+        assert buf.clamped_total == 8
+
+    def test_clamped_total_monotone(self, rng):
+        buf = self._buffer(cap=64)
+        seen = 0
+        for _ in range(20):
+            hot = rng.standard_normal((2, 16)) * rng.choice([0.01, 50.0])
+            buf.append(hot, hot)
+            assert buf.clamped_total >= seen
+            seen = buf.clamped_total
+        # Drain publishes window stats but never rewinds the lifetime count.
+        buf.drain()
+        assert buf.clamped_total == seen
+
+    def test_window_clamp_fraction_per_head(self):
+        buf = self._buffer()
+        k = np.zeros((2, 16))
+        k[0, :] = 100.0  # head 0: all 16 K elements clamp (of 32 staged)
+        buf.append(k, np.zeros((2, 16)))
+        frac = buf.window_clamp_fraction()
+        assert frac[0] == pytest.approx(0.5)
+        assert frac[1] == 0.0
+        assert buf.window_clamp_fraction().shape == (2,)
+
+    def test_drain_publishes_and_resets_window(self):
+        buf = self._buffer()
+        k = np.full((2, 16), 100.0)
+        buf.append(k, np.zeros((2, 16)))
+        buf.drain()
+        assert buf.last_clamp_fraction[0] == pytest.approx(0.5)
+        assert buf.last_k_absmax[0] == pytest.approx(100.0)
+        assert buf.window_clamp_fraction().max() == 0.0  # fresh window
+        buf.append(np.zeros((2, 16)), np.zeros((2, 16)))
+        buf.drain()
+        assert buf.last_clamp_fraction.max() == 0.0  # republished, not sticky
+
+    def test_empty_window_fraction_is_zero(self):
+        buf = self._buffer()
+        assert buf.window_clamp_fraction().max() == 0.0
+
+    def test_grow_scale_stops_clamping(self):
+        buf = self._buffer()
+        k = np.full((2, 16), 100.0)
+        buf.append(k, np.zeros((2, 16)))
+        buf.drain()
+        grew = buf.grow_scale(np.array([True, True]))
+        assert grew == 2
+        buf.append(k, np.zeros((2, 16)))
+        assert buf.window_clamp_fraction().max() == 0.0  # no longer clamps
+        codes, _ = buf.codes()
+        assert codes[:, -1, :].max() == buf.clamp_code  # maps to full range
+
+    def test_grow_scale_only_selected_heads(self):
+        buf = self._buffer()
+        k = np.full((2, 16), 100.0)
+        buf.append(k, np.zeros((2, 16)))
+        buf.drain()
+        assert buf.grow_scale(np.array([True, False])) == 1
+        assert buf.k_scale[0, 0, 0] > buf.k_scale[1, 0, 0]
+
+    def test_grow_scale_never_shrinks(self):
+        buf = self._buffer()
+        buf.append(np.full((2, 16), 0.001), np.zeros((2, 16)))  # tiny absmax
+        buf.drain()
+        before = buf.k_scale.copy()
+        assert buf.grow_scale(np.array([True, True])) == 0
+        np.testing.assert_array_equal(buf.k_scale, before)
+
+    def test_grow_scale_requires_empty_buffer(self):
+        buf = self._buffer()
+        buf.append(np.full((2, 16), 100.0), np.zeros((2, 16)))
+        with pytest.raises(RuntimeError, match="empty"):
+            buf.grow_scale(np.array([True, True]))
+
+
+class TestVectorizedExtend:
+    """Bulk extend must be element-for-element equivalent to the historical
+    per-token append loop (the satellite perf change)."""
+
+    def _pair(self, h=2, d=16, cap=32):
+        mk = lambda: DecodeBuffer(
+            h, d, capacity=cap,
+            k_scale=np.full((h, 1, 1), 0.05),
+            v_scale=np.full((h, 1, 1), 0.05),
+        )
+        return mk(), mk()
+
+    def test_extend_equals_append_loop(self, rng):
+        bulk, loop = self._pair()
+        k = rng.standard_normal((2, 10, 16)) * 3.0  # some values clamp
+        v = rng.standard_normal((2, 10, 16)) * 3.0
+        bulk.extend(k, v)
+        for t in range(10):
+            loop.append(k[:, t, :], v[:, t, :])
+        np.testing.assert_array_equal(bulk.codes()[0], loop.codes()[0])
+        np.testing.assert_array_equal(bulk.codes()[1], loop.codes()[1])
+        assert bulk.clamped_total == loop.clamped_total
+        np.testing.assert_allclose(
+            bulk.window_clamp_fraction(), loop.window_clamp_fraction()
+        )
+        np.testing.assert_allclose(bulk.last_k_absmax, loop.last_k_absmax)
+
+    def test_extend_zero_tokens_noop(self):
+        buf, _ = self._pair()
+        buf.extend(np.zeros((2, 0, 16)), np.zeros((2, 0, 16)))
+        assert len(buf) == 0
+
+    def test_extend_overfill_fills_then_raises(self, rng):
+        buf, _ = self._pair(cap=4)
+        k = rng.standard_normal((2, 6, 16))
+        with pytest.raises(RuntimeError, match="full"):
+            buf.extend(k, k)
+        assert len(buf) == 4  # filled to capacity before raising
+        np.testing.assert_array_equal(
+            buf.codes()[0],
+            np.clip(np.rint(k[:, :4, :] / 0.05), -119, 119).astype(np.int8),
+        )
+
+    def test_extend_shape_mismatch(self, rng):
+        buf, _ = self._pair()
+        with pytest.raises(ValueError):
+            buf.extend(rng.standard_normal((2, 3, 16)), rng.standard_normal((2, 4, 16)))

@@ -14,7 +14,9 @@ class TestRegistry:
         assert expected <= set(RUNNERS)
 
     def test_extensions_registered(self):
-        assert {"ablations", "serving", "cluster", "faults", "needle"} <= set(RUNNERS)
+        assert {
+            "ablations", "serving", "cluster", "faults", "guard", "needle"
+        } <= set(RUNNERS)
 
     def test_runners_expose_interface(self):
         for mod in RUNNERS.values():
