@@ -1,0 +1,64 @@
+"""Overload-protection benchmark (ramp workload through the full stack)."""
+
+from repro.harness import overload
+from repro.overload import BrownoutLevel
+
+
+def test_overload_full(benchmark, once):
+    cells = once(benchmark, overload.run, False)
+    by = {(c.method, c.protected): c for c in cells}
+    assert set(by) == {
+        (m, p) for m in overload.OVERLOAD_METHODS for p in (False, True)
+    }
+
+    # Conservation: every submitted request terminates exactly once —
+    # finished, failed, rejected, or shed — in every cell.
+    for c in cells:
+        assert c.conserved
+        assert c.metrics.total == cells[0].metrics.total
+
+    # The protection stack actually engaged: rejections, sheds, and
+    # brownout-precision tokens all occurred somewhere.
+    assert all(by[(m, True)].metrics.rejected > 0 for m in overload.OVERLOAD_METHODS)
+    assert any(by[(m, True)].metrics.shed > 0 for m in overload.OVERLOAD_METHODS)
+    assert by[("turbo4", True)].metrics.brownout_tokens > 0
+    assert by[("turbo4", True)].metrics.mean_kv_bits < 4.3
+
+    # Unprotected engines never reject or shed — and pay for it.
+    for m in overload.OVERLOAD_METHODS:
+        open_cell = by[(m, False)].metrics
+        assert open_cell.rejected == 0 and open_cell.shed == 0
+
+    # Headline 1: under the same >=2x surge, the protected engine
+    # sustains strictly higher SLO goodput than the unprotected one.
+    assert (
+        by[("turbo4", True)].metrics.goodput_rps
+        > by[("turbo4", False)].metrics.goodput_rps
+    )
+
+    # Headline 2: precision is capacity — the Turbo engine's brownout
+    # ladder sustains more goodput than protected FP16, which has no
+    # precision axis to downshift.
+    assert (
+        by[("turbo4", True)].metrics.goodput_rps
+        > by[("fp16", True)].metrics.goodput_rps
+    )
+
+    # Recovery: the brownout controller walked back to NORMAL with at
+    # most one transition per cooldown window (hysteresis held).
+    turbo = by[("turbo4", True)]
+    assert turbo.final_level is BrownoutLevel.NORMAL
+    times = [t.time for t in turbo.transitions]
+    assert all(
+        b - a >= overload.BROWNOUT.cooldown_s for a, b in zip(times, times[1:])
+    )
+
+    # Reproducibility: the same seed regenerates identical metrics and
+    # the identical transition history.
+    again = {(c.method, c.protected): c for c in overload.run(False)}
+    for key, cell in by.items():
+        assert again[key].metrics == cell.metrics
+        assert again[key].transitions == cell.transitions
+
+    print()
+    overload.main(quick=False)

@@ -1,0 +1,117 @@
+"""Overload protection: admission control, shedding, and precision brownout.
+
+Walks a ramp workload (calm -> surge -> calm) through a protected
+serving engine and narrates what the `repro.overload` stack does at each
+stage:
+
+1. The brownout timeline: NORMAL -> BROWNOUT -> recovery, with the
+   stress signal and cooldown that drove each transition.
+2. Where the surge went: accepted / rejected / shed, per reason, and
+   the conservation invariant that accounts for every request.
+3. What brownout bought: per-request KV bits, brownout tokens, and the
+   goodput comparison against an unprotected engine on the same stream.
+
+    python examples/overload_brownout.py [--surge 25.0] [--seed 11]
+"""
+
+import argparse
+from collections import Counter
+
+import numpy as np
+
+from repro.harness.common import render_table
+from repro.overload import AdmissionConfig, BrownoutConfig, BrownoutLevel
+from repro.perf import METHODS, ModelGeometry
+from repro.serving import SLO, ServingEngine, ramp_workload
+from repro.serving.engine import EngineConfig
+from repro.serving.request import RequestStatus
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--surge", type=float, default=25.0,
+                        help="surge-phase arrival rate (requests/second)")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    model = ModelGeometry.phi3_medium()
+    method = METHODS["turbo4"]
+    slo = SLO(ttft_s=15.0, tpot_s=0.25)
+    phases = [(4.0, 8.0), (args.surge, 20.0), (3.0, 35.0)]
+    workload = ramp_workload(phases, rng=np.random.default_rng(args.seed))
+    print(f"Ramp workload: {' -> '.join(f'{r:.0f} rps x {d:.0f}s' for r, d in phases)}"
+          f" ({len(workload)} requests)\n")
+
+    brownout = BrownoutConfig(delay_scale_s=2.5, kv_scale=1.5, cooldown_s=6.0)
+    config = EngineConfig(
+        slo=slo,
+        deadline_shed=True,
+        shed_high_water=2.5,
+        admission=AdmissionConfig(
+            rate_tokens_per_s=8_000.0, burst_tokens=30_000.0, max_queue_depth=48,
+        ),
+        brownout=brownout,
+    )
+    engine = ServingEngine(model, method, config)
+    metrics = engine.run(workload)
+
+    # 1. The brownout timeline: every transition the hysteresis state
+    # machine took, with the EWMA stress that triggered it.  Cooldown
+    # guarantees at most one transition per window — no flapping.
+    print("1) Brownout timeline (cooldown "
+          f"{brownout.cooldown_s:.0f}s, enter {brownout.enter_thresholds}, "
+          f"exit {brownout.exit_thresholds}):")
+    rows = [
+        [f"{t.time:.1f}", t.src.name, t.dst.name, f"{t.stress:.2f}"]
+        for t in engine.brownout.transitions
+    ]
+    print(render_table(["t (s)", "from", "to", "stress"], rows))
+    assert engine.brownout.level is BrownoutLevel.NORMAL, "did not recover"
+    print(f"   final level: {engine.brownout.level.name} (recovered)\n")
+
+    # 2. Where the surge went.  Nothing is silently dropped: every
+    # terminal record carries a status and a reason.
+    records = list(engine.records.values())
+    by_status = Counter(r.status.value for r in records)
+    reasons = Counter(
+        r.outcome_reason for r in records if r.outcome_reason is not None
+    )
+    print("2) Where the surge went:")
+    print(render_table(
+        ["status", "requests"], [[s, n] for s, n in sorted(by_status.items())],
+    ))
+    print(render_table(
+        ["reject/shed reason", "requests"],
+        [[s, n] for s, n in sorted(reasons.items())],
+    ))
+    terminal = (
+        by_status.get("finished", 0) + by_status.get("failed", 0)
+        + by_status.get("rejected", 0) + by_status.get("shed", 0)
+    )
+    assert terminal == len(records) == len(workload), "conservation violated"
+    print(f"   conservation: {by_status.get('finished', 0)} finished + "
+          f"{by_status.get('rejected', 0)} rejected + "
+          f"{by_status.get('shed', 0)} shed == {len(workload)} submitted\n")
+
+    # 3. What brownout bought.  Requests admitted during a brownout run
+    # at reduced KV precision (visible per-request) — smaller KV blocks,
+    # faster decode — which is capacity an FP16 fleet cannot reach.
+    bits = Counter(
+        r.kv_bits for r in records if r.status is RequestStatus.FINISHED
+    )
+    print("3) Per-request KV precision of finished work:")
+    print(render_table(
+        ["kv bits", "requests"], [[f"{b:.1f}", n] for b, n in sorted(bits.items())],
+    ))
+    open_metrics = ServingEngine(
+        model, method, EngineConfig(slo=slo)
+    ).run(workload)
+    print(f"   brownout tokens (generated below {method.kv_bits} bits): "
+          f"{metrics.brownout_tokens}")
+    print(f"   goodput: protected {metrics.goodput_rps:.2f}/s vs unprotected "
+          f"{open_metrics.goodput_rps:.2f}/s on the identical stream "
+          f"({metrics.goodput_rps / open_metrics.goodput_rps:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

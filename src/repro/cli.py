@@ -7,6 +7,7 @@
     python -m repro cluster --replicas 4 --policy least_kv --method turbo_mixed
     python -m repro cluster --faults --crash-rate 0.05 --timeout 30 --autoscale
     python -m repro guard   --quick
+    python -m repro overload --quick
     python -m repro harness table2 fig6 --quick
 
 Everything the CLI prints is produced by the same library calls the tests
@@ -197,6 +198,13 @@ def _cmd_guard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    from repro.harness.overload import main as overload_main
+
+    overload_main(quick=args.quick)
+    return 0
+
+
 def _cmd_harness(args: argparse.Namespace) -> int:
     from repro.harness.run_all import main as run_all_main
 
@@ -282,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_g.add_argument("--quick", action="store_true")
     p_g.set_defaults(fn=_cmd_guard)
+
+    p_o = sub.add_parser(
+        "overload",
+        help="overload-protection demo: admission control, deadline "
+             "shedding, and precision brownout on a surge workload",
+    )
+    p_o.add_argument("--quick", action="store_true")
+    p_o.set_defaults(fn=_cmd_overload)
 
     p_h = sub.add_parser("harness", help="run table/figure regenerators")
     p_h.add_argument("names", nargs="*", help="subset (default: all)")

@@ -15,9 +15,12 @@ goodput an SLO-bound deployment extracts from the same GPUs.
   (and replacement of crashed capacity below the fleet floor).
 * :mod:`repro.cluster.faults` — seeded crash/stall/timeout injection with
   retry-with-backoff recovery and graceful degradation.
-* :mod:`repro.cluster.simulator` — the discrete-event fleet loop.
+* :mod:`repro.cluster.simulator` — the discrete-event fleet loop, with
+  cluster-level admission control and per-replica circuit breakers from
+  :mod:`repro.overload` when configured.
 * :mod:`repro.cluster.metrics` — SLOs, goodput, tail attainment, and
-  availability/degradation accounting under faults.
+  availability/degradation accounting under faults and overload
+  (rejected/shed/brownout-token counters).
 
 This is the architectural seam later scaling work (disaggregated
 prefill, heterogeneous replicas, multi-tenant fairness) plugs into: each

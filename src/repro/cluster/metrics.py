@@ -18,11 +18,15 @@ once") are checkable by tests from the same data the operator sees.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+# SLO moved to repro.serving.metrics in the overload PR (the engine needs
+# deadlines for deadline-aware shedding); re-exported here unchanged.
+from repro.serving.metrics import SLO
 from repro.serving.request import RequestRecord, RequestStatus
 
 __all__ = [
@@ -37,30 +41,6 @@ __all__ = [
 
 def _percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(np.asarray(values), q)) if values else float("nan")
-
-
-@dataclass(frozen=True)
-class SLO:
-    """Per-request deadlines (seconds)."""
-
-    ttft_s: float = 15.0
-    tpot_s: float = 0.25
-
-    def __post_init__(self) -> None:
-        if self.ttft_s <= 0 or self.tpot_s <= 0:
-            raise ValueError("SLO deadlines must be positive")
-
-    def met_by(self, record: RequestRecord) -> bool:
-        """Did a finished request meet both deadlines?"""
-        if record.status is not RequestStatus.FINISHED:
-            return False
-        ttft, tpot = record.ttft, record.tpot
-        return (
-            ttft is not None
-            and tpot is not None
-            and ttft <= self.ttft_s
-            and tpot <= self.tpot_s
-        )
 
 
 @dataclass(frozen=True)
@@ -137,6 +117,18 @@ class ClusterMetrics:
     timeouts: int = 0
     #: Total scheduled replica downtime (seconds of replica-time lost).
     downtime_s: float = 0.0
+    #: Overload outcomes: admission rejections (cluster- or engine-level)
+    #: and deliberate queue sheds (deadline-doomed / high-water victims).
+    rejected: int = 0
+    shed: int = 0
+    #: Output tokens generated below the method's full KV precision.
+    brownout_tokens: int = 0
+    #: Circuit-breaker trips summed over all replicas.
+    breaker_trips: int = 0
+    #: Queue delay (arrival -> admission) percentiles over admitted work.
+    p50_queue_delay: float = float("nan")
+    p95_queue_delay: float = float("nan")
+    p99_queue_delay: float = float("nan")
     replicas: Tuple[ReplicaStats, ...] = field(default=())
     scale_events: Tuple[ScaleEvent, ...] = field(default=())
 
@@ -158,6 +150,13 @@ class ClusterMetrics:
         return max(0.0, 1.0 - self.downtime_s / capacity)
 
     def as_dict(self) -> dict:
+        # NaN (no samples) maps to None: JSON-clean, ``==``-comparable.
+        return {
+            k: (None if isinstance(v, float) and math.isnan(v) else v)
+            for k, v in self._raw_dict().items()
+        }
+
+    def _raw_dict(self) -> dict:
         return {
             "completed": self.completed,
             "total": self.total,
@@ -186,6 +185,13 @@ class ClusterMetrics:
             "timeouts": self.timeouts,
             "downtime_s": self.downtime_s,
             "availability": self.availability,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "brownout_tokens": self.brownout_tokens,
+            "breaker_trips": self.breaker_trips,
+            "p50_queue_delay_s": self.p50_queue_delay,
+            "p95_queue_delay_s": self.p95_queue_delay,
+            "p99_queue_delay_s": self.p99_queue_delay,
         }
 
 
@@ -199,21 +205,41 @@ def summarize_cluster(
     final_replicas: int = 0,
     failed_records: Sequence[RequestRecord] = (),
     fault_counters: Optional[FaultCounters] = None,
+    rejected_records: Sequence[RequestRecord] = (),
+    base_kv_bits: Optional[float] = None,
+    breaker_trips: int = 0,
 ) -> ClusterMetrics:
     """Aggregate per-replica request records into fleet metrics.
 
     ``failed_records`` are requests that exhausted their retry budget;
     they live with the cluster (their last replica evicted them), count
     toward ``total`` and the fault accounting, and never toward goodput.
+    ``rejected_records`` are requests turned away by *cluster-level*
+    admission before reaching any replica (engine-level rejections and
+    sheds stay in their replica's records); they too count toward
+    ``total`` so conservation is checkable from the returned data.
     """
     counters = fault_counters if fault_counters is not None else FaultCounters()
     records = [r for recs in records_by_replica.values() for r in recs]
     records += list(failed_records)
+    records += list(rejected_records)
     finished = [r for r in records if r.status is RequestStatus.FINISHED]
     ttfts = [r.ttft for r in finished if r.ttft is not None]
     tpots = [r.tpot for r in finished if r.tpot is not None]
+    delays = [
+        r.admitted_at - r.request.arrival_time
+        for r in records
+        if r.admitted_at is not None
+    ]
     output_tokens = sum(r.request.gen_len for r in finished)
     good = sum(1 for r in finished if slo.met_by(r))
+    brownout_tokens = 0
+    if base_kv_bits is not None:
+        brownout_tokens = sum(
+            r.generated
+            for r in records
+            if r.kv_bits is not None and r.kv_bits < base_kv_bits
+        )
     return ClusterMetrics(
         completed=len(finished),
         total=len(records),
@@ -239,6 +265,13 @@ def summarize_cluster(
         stalls=counters.stalls,
         timeouts=counters.timeouts,
         downtime_s=counters.downtime_s,
+        rejected=sum(1 for r in records if r.status is RequestStatus.REJECTED),
+        shed=sum(1 for r in records if r.status is RequestStatus.SHED),
+        brownout_tokens=brownout_tokens,
+        breaker_trips=breaker_trips,
+        p50_queue_delay=_percentile(delays, 50),
+        p95_queue_delay=_percentile(delays, 95),
+        p99_queue_delay=_percentile(delays, 99),
         replicas=tuple(replica_stats),
         scale_events=tuple(scale_events),
     )

@@ -76,15 +76,17 @@ class Replica:
         self.engine.time_scale = 1.0
 
     # -- engine delegation -------------------------------------------------
-    def submit(self, request: Request) -> None:
-        self.submit_record(RequestRecord(request=request))
+    def submit(self, request: Request):
+        return self.submit_record(RequestRecord(request=request))
 
-    def submit_record(self, record: RequestRecord) -> None:
+    def submit_record(self, record: RequestRecord):
+        """Offer a record to the engine; returns its admission verdict
+        (always ACCEPT when the engine runs without overload protection)."""
         if self.draining:
             raise RuntimeError(f"replica {self.replica_id} is draining")
         if self.crashed:
             raise RuntimeError(f"replica {self.replica_id} is down (crashed)")
-        self.engine.submit_record(record)
+        return self.engine.submit_record(record)
 
     def cancel(self, request_id: int):
         return self.engine.cancel(request_id)

@@ -26,7 +26,12 @@ Under fault injection the simulator hands every policy only the
 dispatchable replicas (neither draining nor crashed), so crash-recovery
 re-dispatches flow through the same ``choose`` call as fresh arrivals —
 a policy never needs to know whether a request is on its first or its
-fourth attempt.  Note ``affinity`` homes on ``session_id % len(replicas)``,
+fourth attempt.  With circuit breakers enabled
+(:mod:`repro.overload.breaker`) the candidate list is additionally
+filtered to replicas whose breaker admits traffic (OPEN breakers are
+skipped; HALF_OPEN ones accept probe dispatches), falling back to all
+dispatchable replicas only when every breaker is open — a policy
+therefore also never needs to know breaker state.  Note ``affinity`` homes on ``session_id % len(replicas)``,
 so a fleet shrunk by a crash may re-home sessions until the replica
 recovers; that cache-warmth loss is part of the blast radius the fault
 harness measures.

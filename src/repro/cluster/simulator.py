@@ -25,9 +25,17 @@ admitted and queued request on the victim; each evicted request is
 re-dispatched through the router after capped exponential backoff, its
 KV re-prefilled at real cost on the new replica.  A request whose retry
 budget is exhausted is recorded as ``FAILED`` — the run degrades, it
-never crashes or loses a request.  Every submitted request therefore
-terminates exactly once (completed or failed), which the test suite
-asserts from the returned data.
+never crashes or loses a request.
+
+Overload protection (see :mod:`repro.overload`): cluster-level admission
+gates fresh arrivals on fleet-aggregate queue depth and KV pressure
+before any replica is chosen (re-dispatches of already-admitted work
+bypass it); per-replica circuit breakers steer dispatches away from
+replicas that keep timing out; engine-level admission/shedding/brownout
+run inside each replica when configured on the engine.  Every submitted
+request still terminates exactly once —
+``completed + failed + rejected + shed == total`` — which the test
+suite asserts from the returned data, byte-identical across reruns.
 """
 
 from __future__ import annotations
@@ -48,6 +56,12 @@ from repro.cluster.metrics import (
 )
 from repro.cluster.replica import Replica
 from repro.cluster.router import make_router
+from repro.overload.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionVerdict,
+)
+from repro.overload.breaker import BreakerConfig, CircuitBreaker
 from repro.perf.attention_costs import MethodSpec
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
@@ -84,6 +98,14 @@ class ClusterConfig:
     autoscaler: Optional[AutoscalerConfig] = None
     #: ``None`` disables fault injection (the healthy-hardware baseline).
     faults: Optional[FaultConfig] = None
+    #: Cluster-level admission control: fresh arrivals are gated on the
+    #: fleet's aggregate queue depth and mean KV pressure *before* any
+    #: replica is chosen.  Fault-recovery re-dispatches bypass it (their
+    #: work is already admitted and partially paid for).
+    admission: Optional[AdmissionConfig] = None
+    #: Per-replica circuit breaker on consecutive dispatch timeouts, so
+    #: one sick replica spills its load instead of eating retry storms.
+    breaker: Optional[BreakerConfig] = None
     #: Global engine-iteration guard across the whole fleet.
     max_steps: int = 20_000_000
 
@@ -117,6 +139,14 @@ class ClusterSimulator:
         self.scale_events: List[ScaleEvent] = []
         self.fault_counters = FaultCounters()
         self.failed: Dict[int, RequestRecord] = {}
+        #: Requests turned away by cluster-level admission (terminal).
+        self.rejected: Dict[int, RequestRecord] = {}
+        self.admission = (
+            AdmissionController(config.admission)
+            if config.admission is not None
+            else None
+        )
+        self.breakers: Dict[int, CircuitBreaker] = {}
         self.peak_replicas = config.n_replicas
         self._steps = 0
         self._heap: List[Tuple[float, int, int, str, object]] = []
@@ -174,8 +204,53 @@ class ClusterSimulator:
         self._seq += 1
         heapq.heappush(self._heap, (time, _EVENT_ORDER[kind], self._seq, kind, payload))
 
+    # -- overload protection -------------------------------------------------
+    def _breaker_for(self, replica: Replica) -> Optional[CircuitBreaker]:
+        if self.config.breaker is None:
+            return None
+        breaker = self.breakers.get(replica.replica_id)
+        if breaker is None:
+            breaker = self.breakers[replica.replica_id] = CircuitBreaker(
+                self.config.breaker
+            )
+        return breaker
+
+    def _fleet_signals(self, targets: List[Replica]) -> Tuple[int, float]:
+        """(total queue depth, mean finite KV pressure) over ``targets``."""
+        depth = sum(r.queue_depth for r in targets)
+        pressures = [
+            r.kv_pressure for r in targets if r.kv_pressure != float("inf")
+        ]
+        mean_kv = sum(pressures) / len(pressures) if pressures else float("inf")
+        return depth, mean_kv
+
+    def _cluster_admit(self, record: RequestRecord, now: float) -> bool:
+        """Cluster-level admission for a first dispatch.  Returns whether
+        dispatch should proceed now (DEFER re-enters the event heap)."""
+        if self.admission is None or record.retries > 0:
+            return True
+        targets = self.active_replicas
+        if not targets:
+            # Fleet-down handling (park + retry) owns this case; admission
+            # re-evaluates when the record is re-offered after recovery.
+            return True
+        depth, mean_kv = self._fleet_signals(targets)
+        verdict, reason = self.admission.decide(record, now, depth, mean_kv)
+        if verdict is AdmissionVerdict.REJECT:
+            record.mark_rejected(now, reason)
+            self.rejected[record.request.request_id] = record
+            return False
+        if verdict is AdmissionVerdict.DEFER:
+            self._push(
+                now + self.config.admission.defer_retry_s, "redispatch", record
+            )
+            return False
+        return True
+
     # -- dispatch and recovery ----------------------------------------------
     def _dispatch(self, record: RequestRecord, now: float) -> None:
+        if not self._cluster_admit(record, now):
+            return
         targets = self.active_replicas
         if not targets:
             # Whole fleet is down/draining: park until the first recovery.
@@ -185,9 +260,31 @@ class ClusterSimulator:
             wake = max(min(r.down_until for r in downed), now)
             self._push(wake, "redispatch", record)
             return
+        if self.config.breaker is not None:
+            # Breakers are advisory at the fleet edge: prefer replicas
+            # whose breaker admits traffic, but never leave work
+            # unroutable when every breaker is open.
+            allowed = [
+                r for r in targets if self._breaker_for(r).allows(now)
+            ]
+            if allowed:
+                targets = allowed
         target = self.router.choose(record.request, targets)
-        target.submit_record(record)
+        breaker = self._breaker_for(target)
+        if breaker is not None:
+            breaker.record_dispatch(now)
+        verdict = target.submit_record(record)
         rid = record.request.request_id
+        if verdict is AdmissionVerdict.REJECT:
+            # Engine-level admission turned it away; the record is
+            # terminal inside the replica and counted from its records.
+            self._location.pop(rid, None)
+            return
+        if verdict is AdmissionVerdict.DEFER:
+            self._push(
+                now + target.engine.defer_retry_s, "redispatch", record
+            )
+            return
         self._location[rid] = target
         faults = self.config.faults
         if faults is not None and faults.request_timeout_s is not None:
@@ -236,10 +333,21 @@ class ClusterSimulator:
         # Stale if the request terminated, was re-dispatched since the
         # deadline was armed, or already started streaming tokens.
         if record.retries != epoch or record.first_token_at is not None:
+            if record.first_token_at is not None and record.retries == epoch:
+                # The dispatch beat its deadline: a breaker success signal
+                # (closes a half-open breaker, clears failure streaks).
+                replica = self._location.get(rid)
+                if replica is not None:
+                    breaker = self._breaker_for(replica)
+                    if breaker is not None:
+                        breaker.record_success(now)
             return
         replica = self._location.get(rid)
         if replica is None or replica.cancel(rid) is None:
             return
+        breaker = self._breaker_for(replica)
+        if breaker is not None:
+            breaker.record_failure(now)
         self.fault_counters.timeouts += 1
         self._retry_or_fail(record, now)
 
@@ -306,4 +414,7 @@ class ClusterSimulator:
             final_replicas=len(self.active_replicas),
             failed_records=list(self.failed.values()),
             fault_counters=self.fault_counters,
+            rejected_records=list(self.rejected.values()),
+            base_kv_bits=self.method.kv_bits,
+            breaker_trips=sum(b.trips for b in self.breakers.values()),
         )

@@ -27,7 +27,12 @@ from repro.guard.errors import (
     NumericsError,
     SchemaError,
 )
-from repro.guard.escalation import EscalationConfig, EscalationDecision, PrecisionEscalator
+from repro.guard.escalation import (
+    DEFAULT_LADDER,
+    EscalationConfig,
+    EscalationDecision,
+    PrecisionEscalator,
+)
 from repro.guard.numerics import check_finite_tile, check_scale, guarded_int_matmul
 from repro.guard.report import GuardConfig, GuardPolicy, GuardReport
 
@@ -41,6 +46,7 @@ __all__ = [
     "ChecksumMismatchError",
     "GeometryError",
     "CorruptValueError",
+    "DEFAULT_LADDER",
     "EscalationConfig",
     "EscalationDecision",
     "PrecisionEscalator",

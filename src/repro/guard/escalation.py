@@ -42,7 +42,20 @@ from repro.guard.report import GuardReport
 from repro.quant.bounds import progressive_bound
 from repro.quant.progressive import pq_compress, pq_decompress_to_int8
 
-__all__ = ["EscalationConfig", "EscalationDecision", "PrecisionEscalator"]
+__all__ = [
+    "DEFAULT_LADDER",
+    "EscalationConfig",
+    "EscalationDecision",
+    "PrecisionEscalator",
+]
+
+#: The storage-width ladder shared by per-head escalation (quality goes
+#: *up* under numeric stress) and the overload brownout controller
+#: (quality goes *down* under load stress, :mod:`repro.overload.brownout`).
+#: Both walk the same rungs via :func:`repro.core.headwise.snap_to_ladder`
+#: / :func:`repro.core.headwise.ladder_step`, so a fleet that browns out
+#: and then escalates a hot head lands on widths the cache can store.
+DEFAULT_LADDER: tuple = (2, 4, 8)
 
 
 @dataclass(frozen=True)
@@ -72,7 +85,7 @@ class EscalationConfig:
         the flush boundary (see module docstring).
     """
 
-    ladder: Tuple[int, ...] = (2, 4, 8)
+    ladder: Tuple[int, ...] = DEFAULT_LADDER
     clamp_threshold: float = 0.01
     quality_bits: int = 4
     error_margin: float = 1.0

@@ -17,6 +17,7 @@ from repro.harness import (
     faults,
     guard,
     needle,
+    overload,
     serving_sim,
     fig1,
     fig4,
@@ -49,6 +50,7 @@ RUNNERS = {
     "serving": serving_sim,
     "cluster": cluster,
     "faults": faults,
+    "overload": overload,
     "guard": guard,
     "needle": needle,
 }

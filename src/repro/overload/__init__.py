@@ -1,0 +1,55 @@
+"""Overload protection: degrade deliberately instead of collapsing.
+
+The cluster survives crashes (:mod:`repro.cluster.faults`) and bad
+numerics (:mod:`repro.guard`); this subpackage protects it from
+*overload itself* — sustained demand beyond fleet capacity.  Three
+mechanisms compose, each mapping a saturation signal the serving stack
+already exposes onto a deliberate action:
+
+* :mod:`repro.overload.admission` — a token bucket + KV-pressure gate in
+  front of every submission, with ACCEPT/REJECT/DEFER verdicts, bounded
+  queues, and typed terminal outcomes (``REJECTED`` is a first-class
+  request status, never a silent drop).
+* :mod:`repro.overload.brownout` — a hysteresis state machine
+  (NORMAL -> BROWNOUT_4BIT -> BROWNOUT_2BIT -> SHED_ONLY) that downshifts
+  *new* requests' KV precision along the guard layer's width ladder,
+  shrinks per-request KV budgets, and recovers with cooldown.  This is
+  the TurboAttention-specific move: precision is a capacity axis FP16
+  fleets simply do not have.
+* :mod:`repro.overload.breaker` — a per-replica circuit breaker
+  (CLOSED/OPEN/HALF_OPEN) so a sick replica sheds its load to the fleet
+  instead of feeding a retry storm.
+
+Deadline-aware shedding lives in the engine itself
+(:meth:`repro.serving.ServingEngine.step`): at dequeue time a request
+whose best-case TTFT already exceeds its SLO is shed before a single
+decode token is wasted on it.  The conservation invariant extends across
+all of it: submitted = completed + failed + rejected + shed + in-flight,
+byte-identical across reruns of the same seed.
+"""
+
+from repro.overload.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionVerdict,
+)
+from repro.overload.breaker import BreakerConfig, BreakerState, CircuitBreaker
+from repro.overload.brownout import (
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutLevel,
+    BrownoutTransition,
+)
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionVerdict",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BrownoutLevel",
+    "BrownoutTransition",
+]

@@ -1,0 +1,155 @@
+"""Admission control: a token bucket plus a KV-pressure gate.
+
+The serving engine (PR 1) accepts every submission unconditionally and
+lets the FCFS queue grow without bound — under sustained overload every
+request's TTFT blows past its SLO and *zero* goodput survives, even
+though the engine already exposes the saturation signals
+(``queue_depth``, ``kv_pressure``).  Admission control turns those
+signals into a decision made *before* any work is spent:
+
+* **ACCEPT** — the request enters the queue; its work cost
+  (``prompt_len + gen_len`` tokens) is deducted from the bucket.
+* **REJECT** — terminal.  The request is recorded with status
+  ``REJECTED`` and a reason; it is never silently dropped, so the
+  conservation invariant extends to
+  ``submitted = completed + failed + rejected + shed + in-flight``.
+* **DEFER** — try again after ``defer_retry_s``.  Deferrals are bounded
+  (``max_defers``); the budget's exhaustion turns the next DEFER into a
+  REJECT so every request terminates.
+
+The bucket refills at ``rate_tokens_per_s`` up to ``burst_tokens``: it
+bounds the *sustained* work rate while letting bursts through, the
+classic surge-protection shape.  The KV gate reads the engine's
+``kv_pressure`` (resident + queued demand as a fraction of device
+blocks): above ``kv_defer_pressure`` new work is deferred (the queue
+alone will oversubscribe HBM), above ``kv_reject_pressure`` it is turned
+away outright.  Everything is driven by the simulated clock passed in,
+so runs stay byte-identical across reruns of the same seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only; avoids an import
+    # cycle (serving.engine imports this module).
+    from repro.serving.request import RequestRecord
+
+__all__ = ["AdmissionVerdict", "AdmissionConfig", "AdmissionController"]
+
+
+class AdmissionVerdict(enum.Enum):
+    ACCEPT = "accept"
+    REJECT = "reject"
+    DEFER = "defer"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission-control tunables.
+
+    Attributes
+    ----------
+    rate_tokens_per_s:
+        Sustained work-token (prompt + generation) refill rate of the
+        bucket.  ``None`` disables the bucket (gate on queue/KV only).
+    burst_tokens:
+        Bucket capacity: the largest burst admitted at once.
+    max_queue_depth:
+        Hard bound on the waiting queue; submissions past it are
+        rejected (``queue_full``).  ``None`` = unbounded.
+    kv_defer_pressure / kv_reject_pressure:
+        KV-pressure gates (see module docstring);
+        ``defer`` must not exceed ``reject``.
+    defer_retry_s:
+        How long a deferred submission waits before re-offering.
+    max_defers:
+        DEFER budget per request; exhausted -> REJECT (``defer_budget``).
+    """
+
+    rate_tokens_per_s: Optional[float] = None
+    burst_tokens: float = 50_000.0
+    max_queue_depth: Optional[int] = 64
+    kv_defer_pressure: float = 1.5
+    kv_reject_pressure: float = 3.0
+    defer_retry_s: float = 1.0
+    max_defers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.rate_tokens_per_s is not None and self.rate_tokens_per_s <= 0:
+            raise ValueError("rate_tokens_per_s must be positive (or None)")
+        if self.burst_tokens <= 0:
+            raise ValueError("burst_tokens must be positive")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if self.kv_defer_pressure > self.kv_reject_pressure:
+            raise ValueError("kv_defer_pressure must not exceed kv_reject_pressure")
+        if self.kv_defer_pressure <= 0:
+            raise ValueError("KV pressure gates must be positive")
+        if self.defer_retry_s <= 0:
+            raise ValueError("defer_retry_s must be positive")
+        if self.max_defers < 0:
+            raise ValueError("max_defers must be >= 0")
+
+
+class AdmissionController:
+    """Deterministic token-bucket + pressure gate in front of a queue."""
+
+    def __init__(self, config: AdmissionConfig):
+        self.config = config
+        self.bucket = config.burst_tokens
+        self._last_refill = 0.0
+        #: Verdict tallies for operator visibility.
+        self.accepted = 0
+        self.rejected = 0
+        self.deferred = 0
+
+    def _refill(self, now: float) -> None:
+        if self.config.rate_tokens_per_s is None:
+            return
+        if now > self._last_refill:
+            self.bucket = min(
+                self.config.burst_tokens,
+                self.bucket + (now - self._last_refill) * self.config.rate_tokens_per_s,
+            )
+            self._last_refill = now
+
+    @staticmethod
+    def cost(record: RequestRecord) -> float:
+        """Work cost of one request in bucket tokens."""
+        return float(record.request.total_tokens)
+
+    def decide(
+        self,
+        record: RequestRecord,
+        now: float,
+        queue_depth: int,
+        kv_pressure: float,
+    ) -> Tuple[AdmissionVerdict, str]:
+        """One admission decision.  Mutates the bucket only on ACCEPT and
+        the record's ``defers`` counter only on DEFER."""
+        cfg = self.config
+        self._refill(now)
+        verdict, reason = AdmissionVerdict.ACCEPT, "ok"
+        if cfg.max_queue_depth is not None and queue_depth >= cfg.max_queue_depth:
+            verdict, reason = AdmissionVerdict.REJECT, "queue_full"
+        elif kv_pressure >= cfg.kv_reject_pressure:
+            verdict, reason = AdmissionVerdict.REJECT, "kv_pressure"
+        elif kv_pressure >= cfg.kv_defer_pressure:
+            verdict, reason = AdmissionVerdict.DEFER, "kv_pressure"
+        elif self.cost(record) > self.bucket:
+            verdict, reason = AdmissionVerdict.DEFER, "token_bucket"
+
+        if verdict is AdmissionVerdict.DEFER and record.defers >= cfg.max_defers:
+            verdict, reason = AdmissionVerdict.REJECT, "defer_budget"
+        if verdict is AdmissionVerdict.ACCEPT:
+            self.bucket -= self.cost(record)
+            self.accepted += 1
+        elif verdict is AdmissionVerdict.DEFER:
+            record.defers += 1
+            self.deferred += 1
+        else:
+            self.rejected += 1
+        return verdict, reason

@@ -1,0 +1,108 @@
+"""Per-replica circuit breaker: overload spills instead of cascading.
+
+A replica that keeps timing out dispatches (stalled hardware, a queue it
+will never drain) is worse than a crashed one: the router keeps feeding
+it work that each costs a timeout eviction, a retry, and re-prefill on
+another replica — the classic retry-storm cascade.  The breaker follows
+the standard three-state pattern:
+
+* **CLOSED** — healthy; dispatches flow.  ``failure_threshold``
+  *consecutive* dispatch timeouts trip it.
+* **OPEN** — the router skips the replica entirely for
+  ``open_duration_s`` (load spills to the rest of the fleet).
+* **HALF_OPEN** — after the window, up to ``half_open_probes`` probe
+  dispatches are allowed through.  A probe that produces a first token
+  closes the breaker; a probe that times out re-trips it for a fresh
+  window.
+
+The breaker is advisory at the fleet edge: if *every* dispatchable
+replica's breaker is open, the simulator routes anyway (an open breaker
+must never make the whole fleet unreachable — shedding that work is the
+admission controller's job, not the breaker's).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["BreakerState", "BreakerConfig", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip/probe tunables."""
+
+    failure_threshold: int = 3
+    open_duration_s: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.open_duration_s <= 0:
+            raise ValueError("open_duration_s must be positive")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    def __init__(self, config: BreakerConfig = BreakerConfig()):
+        self.config = config
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_until = 0.0
+        self._probes_in_flight = 0
+        #: Times the breaker tripped (CLOSED/HALF_OPEN -> OPEN).
+        self.trips = 0
+
+    def state(self, now: float) -> BreakerState:
+        """Current state; OPEN decays to HALF_OPEN once the window ends."""
+        if self._state is BreakerState.OPEN and now >= self._opened_until:
+            self._state = BreakerState.HALF_OPEN
+            self._probes_in_flight = 0
+        return self._state
+
+    def allows(self, now: float) -> bool:
+        """May the router dispatch to this replica right now?"""
+        state = self.state(now)
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        return self._probes_in_flight < self.config.half_open_probes
+
+    def record_dispatch(self, now: float) -> None:
+        """A dispatch was actually routed here (counts half-open probes)."""
+        if self.state(now) is BreakerState.HALF_OPEN:
+            self._probes_in_flight += 1
+
+    def record_failure(self, now: float) -> None:
+        """One dispatch timeout on this replica."""
+        self._consecutive_failures += 1
+        state = self.state(now)
+        tripped = state is BreakerState.HALF_OPEN or (
+            state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.config.failure_threshold
+        )
+        if tripped:
+            self._state = BreakerState.OPEN
+            self._opened_until = now + self.config.open_duration_s
+            self._consecutive_failures = 0
+            self._probes_in_flight = 0
+            self.trips += 1
+
+    def record_success(self, now: float) -> None:
+        """A dispatch here produced its first token in time."""
+        self._consecutive_failures = 0
+        if self.state(now) is not BreakerState.OPEN:
+            self._state = BreakerState.CLOSED
+            self._probes_in_flight = 0

@@ -1,0 +1,203 @@
+"""Precision brownout: spend KV quality to buy serving capacity.
+
+TurboAttention's premise (§3.2-3.3; KIVI/GEAR in PAPERS.md) is that KV
+precision is a *tunable* axis trading quality for memory and bandwidth.
+At the serving layer that means the robust response to saturation is not
+only rejecting work: a compressed-cache fleet can *brown out* — admit new
+requests at a lower storage width, packing more concurrent contexts into
+the same HBM and reading fewer bytes per decode step — and recover full
+quality when load subsides.  FP16 has no such axis, which is exactly the
+gap the overload harness measures.
+
+The controller is a hysteresis state machine over four levels::
+
+    NORMAL -> BROWNOUT_4BIT -> BROWNOUT_2BIT -> SHED_ONLY
+
+driven by one scalar *stress* signal: the max of EWMA-smoothed queue
+delay (normalized by ``delay_scale_s``) and EWMA-smoothed KV pressure
+(normalized by ``kv_scale``).  Stress crossing ``enter_thresholds[i]``
+moves one level deeper; falling below ``exit_thresholds[i]`` (strictly
+lower — the hysteresis band) moves one level back.  Transitions are rate
+limited to one per ``cooldown_s`` window, so the fleet cannot oscillate
+faster than the cooldown no matter how the signals thrash; the
+acceptance bound "<= 1 transition per cooldown window" is structural.
+
+Precision mapping reuses the guard layer's width ladder
+(:data:`repro.guard.escalation.DEFAULT_LADDER`) through
+:func:`repro.core.headwise.snap_to_ladder`: each brownout level's target
+width is snapped onto the ladder, and the admitted request's effective
+bits keep the method's metadata overhead (the fractional part of its
+``kv_bits``).  A method without a precision axis (``kind == "fp16"``)
+passes through unchanged at every level.  ``SHED_ONLY`` admits nothing
+new at all — the deepest rung protects in-flight work only.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.guard.escalation import DEFAULT_LADDER
+from repro.perf.attention_costs import MethodSpec
+
+__all__ = [
+    "BrownoutLevel",
+    "BrownoutConfig",
+    "BrownoutTransition",
+    "BrownoutController",
+]
+
+
+class BrownoutLevel(enum.IntEnum):
+    NORMAL = 0
+    BROWNOUT_4BIT = 1
+    BROWNOUT_2BIT = 2
+    SHED_ONLY = 3
+
+
+#: Target storage width per degraded level (NORMAL uses the method's own).
+_LEVEL_WIDTH = {
+    BrownoutLevel.BROWNOUT_4BIT: 4,
+    BrownoutLevel.BROWNOUT_2BIT: 2,
+    BrownoutLevel.SHED_ONLY: 2,
+}
+
+
+@dataclass(frozen=True)
+class BrownoutTransition:
+    """One recorded level change."""
+
+    time: float
+    src: BrownoutLevel
+    dst: BrownoutLevel
+    stress: float
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Hysteresis thresholds and the quality ladder.
+
+    ``enter_thresholds[i]`` is the stress at which level ``i`` deepens to
+    ``i+1``; ``exit_thresholds[i]`` (strictly lower) is the stress below
+    which level ``i+1`` relaxes back to ``i``.  Both are in units of the
+    normalized stress signal (1.0 = queue delay equals ``delay_scale_s``
+    or KV pressure equals ``kv_scale``).
+    """
+
+    ladder: Tuple[int, ...] = DEFAULT_LADDER
+    delay_scale_s: float = 5.0
+    kv_scale: float = 1.5
+    ewma_alpha: float = 0.3
+    enter_thresholds: Tuple[float, float, float] = (1.0, 2.0, 4.0)
+    exit_thresholds: Tuple[float, float, float] = (0.5, 1.0, 2.0)
+    #: Minimum dwell between any two transitions (seconds).
+    cooldown_s: float = 10.0
+    #: Per-level cap on a new request's total tokens (prompt + gen):
+    #: brownout also shrinks the per-request KV budget so one giant
+    #: context cannot monopolize the squeezed cache.  ``None`` = no cap;
+    #: the SHED_ONLY entry is ignored (nothing new is admitted there).
+    request_token_caps: Tuple[Optional[int], ...] = (None, 8192, 4096, 0)
+
+    def __post_init__(self) -> None:
+        if len(self.enter_thresholds) != 3 or len(self.exit_thresholds) != 3:
+            raise ValueError("need one enter/exit threshold per degraded level")
+        if list(self.enter_thresholds) != sorted(self.enter_thresholds):
+            raise ValueError("enter_thresholds must be ascending")
+        if any(
+            x >= e for x, e in zip(self.exit_thresholds, self.enter_thresholds)
+        ):
+            raise ValueError(
+                "each exit threshold must sit strictly below its enter "
+                "threshold (the hysteresis band)"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must lie in (0, 1]")
+        if self.delay_scale_s <= 0 or self.kv_scale <= 0:
+            raise ValueError("signal scales must be positive")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        if len(self.request_token_caps) != 4:
+            raise ValueError("request_token_caps needs one entry per level")
+
+
+class BrownoutController:
+    """EWMA-driven hysteresis state machine over :class:`BrownoutLevel`."""
+
+    def __init__(self, config: BrownoutConfig = BrownoutConfig()):
+        self.config = config
+        self.level = BrownoutLevel.NORMAL
+        self.ewma_delay = 0.0
+        self.ewma_kv = 0.0
+        self.transitions: List[BrownoutTransition] = []
+        self._last_transition: Optional[float] = None
+
+    # -- signal path ---------------------------------------------------------
+    @property
+    def stress(self) -> float:
+        """The scalar the thresholds compare against."""
+        return max(
+            self.ewma_delay / self.config.delay_scale_s,
+            self.ewma_kv / self.config.kv_scale,
+        )
+
+    def observe(self, now: float, queue_delay: float, kv_pressure: float) -> None:
+        """Fold one sample into the EWMAs and maybe transition one level.
+
+        ``queue_delay`` is the engine's head-of-queue age (seconds);
+        ``kv_pressure`` its resident + queued block demand fraction.
+        """
+        a = self.config.ewma_alpha
+        self.ewma_delay += a * (queue_delay - self.ewma_delay)
+        kv = min(kv_pressure, 1e6)  # inf-guard: an empty allocator reports inf
+        self.ewma_kv += a * (kv - self.ewma_kv)
+
+        if (
+            self._last_transition is not None
+            and now - self._last_transition < self.config.cooldown_s
+        ):
+            return
+        stress = self.stress
+        level = int(self.level)
+        if level < int(BrownoutLevel.SHED_ONLY) and stress >= self.config.enter_thresholds[level]:
+            self._move(now, BrownoutLevel(level + 1), stress)
+        elif level > int(BrownoutLevel.NORMAL) and stress < self.config.exit_thresholds[level - 1]:
+            self._move(now, BrownoutLevel(level - 1), stress)
+
+    def _move(self, now: float, dst: BrownoutLevel, stress: float) -> None:
+        self.transitions.append(
+            BrownoutTransition(time=now, src=self.level, dst=dst, stress=stress)
+        )
+        self.level = dst
+        self._last_transition = now
+
+    # -- what the current level means for a new request ----------------------
+    @property
+    def admits_new_work(self) -> bool:
+        return self.level is not BrownoutLevel.SHED_ONLY
+
+    @property
+    def request_token_cap(self) -> Optional[int]:
+        return self.config.request_token_caps[int(self.level)]
+
+    def bits_for(self, method: MethodSpec) -> float:
+        """Effective KV bits a request admitted *now* is stored at.
+
+        The level's target width is snapped onto the guard ladder; the
+        method's metadata overhead (fractional bits for scales/zeros)
+        rides on top, and a method already narrower than the target stays
+        put — brownout only ever *reduces* precision.
+        """
+        if method.kind == "fp16" or self.level is BrownoutLevel.NORMAL:
+            return method.kv_bits
+        from repro.core.headwise import snap_to_ladder
+
+        target = _LEVEL_WIDTH[self.level]
+        snapped = int(
+            snap_to_ladder(np.array([target], dtype=np.int32), self.config.ladder)[0]
+        )
+        base_width = int(method.kv_bits)
+        metadata = method.kv_bits - base_width
+        return min(base_width, snapped) + metadata

@@ -27,8 +27,8 @@ A compressed cache shows up here twice: more concurrent requests fit
 from repro.serving.request import Request, RequestRecord, RequestStatus
 from repro.serving.allocator import PagedKVAllocator
 from repro.serving.engine import ServingEngine, EngineConfig
-from repro.serving.workload import poisson_workload
-from repro.serving.metrics import ServingMetrics, summarize
+from repro.serving.workload import poisson_workload, ramp_workload
+from repro.serving.metrics import SLO, ServingMetrics, summarize
 
 __all__ = [
     "Request",
@@ -38,6 +38,8 @@ __all__ = [
     "ServingEngine",
     "EngineConfig",
     "poisson_workload",
+    "ramp_workload",
+    "SLO",
     "ServingMetrics",
     "summarize",
 ]

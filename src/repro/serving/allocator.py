@@ -27,6 +27,9 @@ __all__ = ["PagedKVAllocator"]
 class _Allocation:
     blocks: int
     tokens: int
+    #: Per-request multiplier on the method's bytes/token (brownout admits
+    #: requests at a reduced KV width, so they pack into fewer blocks).
+    bytes_scale: float = 1.0
 
 
 class PagedKVAllocator:
@@ -61,14 +64,25 @@ class PagedKVAllocator:
         self._allocs: Dict[int, _Allocation] = {}
 
     # -- queries -----------------------------------------------------------
-    def blocks_for(self, tokens: int) -> int:
-        return -(-tokens // self.block_tokens)
+    def blocks_for(self, tokens: int, bytes_scale: float = 1.0) -> int:
+        """Blocks covering ``tokens`` at ``bytes_scale`` times the method's
+        bytes/token.  A brownout request stored at 2.3 effective bits under
+        a 3.3-bit method has ``bytes_scale = 2.3/3.3`` and packs ~1.4x more
+        tokens into each fixed-size block."""
+        if bytes_scale == 1.0:
+            return -(-tokens // self.block_tokens)
+        if bytes_scale <= 0:
+            raise ValueError("bytes_scale must be positive")
+        eff = tokens * bytes_scale
+        blocks = int(eff // self.block_tokens)
+        return blocks + (1 if eff > blocks * self.block_tokens else 0)
 
     def can_allocate(self, request_id: int, tokens: int) -> bool:
         """Would growing/creating ``request_id`` to ``tokens`` succeed?"""
         current = self._allocs.get(request_id)
         have = current.blocks if current else 0
-        return self.blocks_for(tokens) - have <= self.free_blocks
+        scale = current.bytes_scale if current else 1.0
+        return self.blocks_for(tokens, scale) - have <= self.free_blocks
 
     @property
     def used_blocks(self) -> int:
@@ -89,15 +103,23 @@ class PagedKVAllocator:
         return (alloc_tokens - used_tokens) / alloc_tokens
 
     # -- mutations -----------------------------------------------------------
-    def grow(self, request_id: int, tokens: int) -> bool:
-        """Create or extend an allocation to cover ``tokens``; False = OOM."""
+    def grow(self, request_id: int, tokens: int, bytes_scale: float = 1.0) -> bool:
+        """Create or extend an allocation to cover ``tokens``; False = OOM.
+
+        ``bytes_scale`` is fixed at the allocation's creation (the request's
+        admitted KV width never changes mid-flight); growth calls reuse the
+        stored scale.
+        """
         current = self._allocs.get(request_id)
         have = current.blocks if current else 0
-        need = self.blocks_for(tokens) - have
+        scale = current.bytes_scale if current else bytes_scale
+        need = self.blocks_for(tokens, scale) - have
         if need > self.free_blocks:
             return False
         self.free_blocks -= max(need, 0)
-        self._allocs[request_id] = _Allocation(blocks=have + max(need, 0), tokens=tokens)
+        self._allocs[request_id] = _Allocation(
+            blocks=have + max(need, 0), tokens=tokens, bytes_scale=scale
+        )
         return True
 
     def release(self, request_id: int) -> None:

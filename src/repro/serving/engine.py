@@ -32,17 +32,24 @@ The engine exposes two driving modes:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import dataclass
 
+from repro.overload.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionVerdict,
+)
+from repro.overload.brownout import BrownoutConfig, BrownoutController
 from repro.perf.attention_costs import MethodSpec
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
 from repro.perf.tp import replica_kv_budget, tp_step_latency
 from repro.serving.allocator import PagedKVAllocator
-from repro.serving.metrics import ServingMetrics, summarize
+from repro.serving.metrics import SLO, ServingMetrics, summarize
 from repro.serving.request import (
     Request,
     RequestRecord,
@@ -74,6 +81,29 @@ class EngineConfig:
     #: per-layer all-reduce cost.
     tp: int = 1
     max_iterations: int = 2_000_000
+    # -- overload protection (all off by default; see repro.overload) -------
+    #: Per-request deadlines.  Setting an SLO makes ``summarize`` report
+    #: goodput/attainment; it does not by itself shed anything.
+    slo: Optional[SLO] = None
+    #: Deadline-aware shedding: at dequeue time, a request whose *best
+    #: case* TTFT (wait so far + its lone-on-the-machine prefill) already
+    #: exceeds ``slo.ttft_s`` is shed before any decode token is wasted.
+    #: Requires ``slo``.
+    deadline_shed: bool = False
+    #: High-water KV-pressure shedding: while ``kv_pressure`` exceeds this
+    #: mark, queued requests are shed lowest-priority-first (ties: the
+    #: youngest arrival goes first).  ``None`` disables.
+    shed_high_water: Optional[float] = None
+    #: Token-bucket + KV-pressure admission gate on ``submit``.
+    admission: Optional[AdmissionConfig] = None
+    #: Precision-brownout controller for new admissions.
+    brownout: Optional[BrownoutConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_shed and self.slo is None:
+            raise ValueError("deadline_shed requires an slo")
+        if self.shed_high_water is not None and self.shed_high_water <= 0:
+            raise ValueError("shed_high_water must be positive")
 
 
 class ServingEngine:
@@ -108,54 +138,147 @@ class ServingEngine:
         self.start()
 
     # -- latency helpers ------------------------------------------------------
-    def _prefill_latency(self, n_tokens: int, kv_len: Optional[int] = None) -> float:
+    def _method_at(self, kv_bits: Optional[float]) -> MethodSpec:
+        """The cost-model spec at a (possibly browned-out) KV width."""
+        if kv_bits is None or kv_bits == self.method.kv_bits:
+            return self.method
+        return self.method.with_bits(kv_bits)
+
+    def _prefill_latency(
+        self,
+        n_tokens: int,
+        kv_len: Optional[int] = None,
+        kv_bits: Optional[float] = None,
+    ) -> float:
         return tp_step_latency(
-            self.method, self.model, 1, n_tokens,
+            self._method_at(kv_bits), self.model, 1, n_tokens,
             kv_len if kv_len is not None else n_tokens,
             prefill=True, tp=self.config.tp, gpu=self.gpu,
         )
 
-    def _decode_latency(self, batch: int, mean_ctx: float) -> float:
+    def _decode_latency(
+        self, batch: int, mean_ctx: float, kv_bits: Optional[float] = None
+    ) -> float:
         return tp_step_latency(
-            self.method, self.model, batch, 1, max(int(mean_ctx), 1),
+            self._method_at(kv_bits), self.model, batch, 1, max(int(mean_ctx), 1),
             prefill=False, tp=self.config.tp, gpu=self.gpu,
         )
 
+    def _bytes_scale(self, record: RequestRecord) -> float:
+        """Allocator scale for a record admitted below full precision."""
+        if record.kv_bits is None:
+            return 1.0
+        return record.kv_bits / self.method.kv_bits
+
     # -- open-loop driving API ------------------------------------------------
     def start(self) -> None:
-        """Reset all per-run state (records, queues, clock)."""
+        """Reset all per-run state (records, queues, clock, controllers)."""
         self.records: Dict[int, RequestRecord] = {}
         self.waiting: Deque[int] = deque()
         self.running: List[int] = []  # admission order (preemption pops the tail)
         self.clock = 0.0
         self.iterations = 0
         self.peak_running = 0
+        #: Tokens lost to ``cancel`` of in-flight requests whose records
+        #: left the engine (the record's own waste fields travel with it).
+        self.cancelled_wasted_prefill_tokens = 0
+        self.cancelled_wasted_decode_tokens = 0
+        #: Deadline/high-water shed tallies for operator visibility.
+        self.deadline_sheds = 0
+        self.high_water_sheds = 0
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(self.config.admission)
+            if self.config.admission is not None
+            else None
+        )
+        self.brownout: Optional[BrownoutController] = (
+            BrownoutController(self.config.brownout)
+            if self.config.brownout is not None
+            else None
+        )
         for rid in list(getattr(self.allocator, "_allocs", {})):
             self.allocator.release(rid)
 
-    def submit(self, request: Request) -> None:
-        """Enqueue one request (FCFS tail).  The caller owns arrival timing."""
-        self.submit_record(RequestRecord(request=request))
+    def submit(self, request: Request) -> AdmissionVerdict:
+        """Offer one request (FCFS tail).  The caller owns arrival timing.
 
-    def submit_record(self, record: RequestRecord) -> None:
-        """Enqueue an existing record — the fault-recovery re-dispatch path,
-        where retry/waste accounting must survive the move across replicas."""
+        Returns the admission verdict.  Without overload protection
+        configured this is always ``ACCEPT`` (the PR-1 behaviour).  On
+        ``REJECT`` the record is kept with status ``REJECTED``; on
+        ``DEFER`` the record is *not* registered — the caller re-offers
+        it after :meth:`defer_retry_s`.
+        """
+        return self.submit_record(RequestRecord(request=request))
+
+    @property
+    def defer_retry_s(self) -> float:
+        """How long a deferred submission should wait before re-offering."""
+        if self.config.admission is not None:
+            return self.config.admission.defer_retry_s
+        return 1.0
+
+    def _admission_decision(
+        self, record: RequestRecord
+    ) -> Tuple[AdmissionVerdict, str]:
+        cap = None
+        if self.brownout is not None:
+            if not self.brownout.admits_new_work:
+                return AdmissionVerdict.REJECT, "shed_only"
+            cap = self.brownout.request_token_cap
+        if cap is not None and record.request.total_tokens > cap:
+            max_defers = (
+                self.config.admission.max_defers
+                if self.config.admission is not None
+                else 4
+            )
+            if record.defers >= max_defers:
+                return AdmissionVerdict.REJECT, "brownout_cap"
+            record.defers += 1
+            return AdmissionVerdict.DEFER, "brownout_cap"
+        if self.admission is not None:
+            return self.admission.decide(
+                record, self.clock, self.queue_depth, self.kv_pressure
+            )
+        return AdmissionVerdict.ACCEPT, "ok"
+
+    def submit_record(self, record: RequestRecord) -> AdmissionVerdict:
+        """Offer an existing record — also the fault-recovery re-dispatch
+        path, where retry/waste accounting must survive the move across
+        replicas.  Returns the admission verdict (see :meth:`submit`)."""
         rid = record.request.request_id
         if rid in self.records:
             raise ValueError(f"duplicate request_id {rid}")
+        verdict, reason = self._admission_decision(record)
+        if verdict is AdmissionVerdict.REJECT:
+            record.mark_rejected(self.clock, reason)
+            self.records[rid] = record
+            return verdict
+        if verdict is AdmissionVerdict.DEFER:
+            return verdict
+        if record.kv_bits is None:
+            record.kv_bits = (
+                self.brownout.bits_for(self.method)
+                if self.brownout is not None
+                else self.method.kv_bits
+            )
         self.records[rid] = record
         self.waiting.append(rid)
+        return verdict
 
     def cancel(self, request_id: int) -> Optional[RequestRecord]:
         """Pull one unfinished request off the engine (timeout eviction).
 
         Frees its KV blocks and removes the record entirely; returns the
         record so the caller can retry it elsewhere, or ``None`` if the
-        request is unknown or already terminal.
+        request is unknown or already terminal.  Tokens already processed
+        are charged to the engine's cancelled-waste counters — the record
+        leaves, but the work it burned here stays on this engine's books.
         """
         record = self.records.get(request_id)
         if record is None or record.status in TERMINAL_STATUSES:
             return None
+        self.cancelled_wasted_prefill_tokens += record.prefilled
+        self.cancelled_wasted_decode_tokens += record.generated
         self.allocator.release(request_id)
         if request_id in self.running:
             self.running.remove(request_id)
@@ -209,28 +332,107 @@ class ServingEngine:
     @property
     def kv_pressure(self) -> float:
         """Resident KV utilization plus queued prompt demand, as a fraction
-        of device blocks.  >1 means the queue alone oversubscribes HBM."""
+        of device blocks.  >1 means the queue alone oversubscribes HBM.
+        Queued demand honours each record's admitted KV width."""
         if self.allocator.total_blocks == 0:
             return float("inf")
         queued = sum(
-            self.allocator.blocks_for(self.records[rid].request.prompt_len)
+            self.allocator.blocks_for(
+                self.records[rid].request.prompt_len,
+                self._bytes_scale(self.records[rid]),
+            )
             for rid in self.waiting
         )
         return (self.allocator.used_blocks + queued) / self.allocator.total_blocks
 
+    @property
+    def queue_delay(self) -> float:
+        """Age of the oldest waiting request (the brownout delay signal)."""
+        if not self.waiting:
+            return 0.0
+        return max(
+            0.0, self.clock - self.records[self.waiting[0]].request.arrival_time
+        )
+
+    @property
+    def brownout_level(self):
+        """Current :class:`~repro.overload.brownout.BrownoutLevel` (or None)."""
+        return self.brownout.level if self.brownout is not None else None
+
+    def _shed(self, rid: int, reason: str) -> None:
+        """Terminal queue shed: keep the record, free everything else."""
+        rec = self.records[rid]
+        self.allocator.release(rid)
+        self.waiting.remove(rid)
+        rec.mark_shed(self.clock, reason)
+
+    def _shed_doomed(self, rid: int) -> bool:
+        """Deadline-aware shed check at dequeue time.
+
+        Uses a *lower bound* on the request's TTFT: the wait so far plus
+        its prefill as if it were alone on the machine.  If even that
+        best case misses the deadline, no schedule can save it — shed it
+        before a single decode token is wasted.
+        """
+        if not self.config.deadline_shed:
+            return False
+        rec = self.records[rid]
+        waited = self.clock - rec.request.arrival_time
+        best_prefill = (
+            self._prefill_latency(rec.request.prompt_len, kv_bits=rec.kv_bits)
+            * self.time_scale
+        )
+        if waited + best_prefill <= self.config.slo.ttft_s:
+            return False
+        self._shed(rid, "deadline")
+        self.deadline_sheds += 1
+        return True
+
+    def _shed_high_water(self) -> None:
+        """Pressure-relief shedding: while KV pressure sits above the
+        high-water mark, drop queued requests lowest-priority-first
+        (ties: youngest arrival, then highest rid) — only waiting
+        requests are victimized, so zero decode tokens are wasted."""
+        high_water = self.config.shed_high_water
+        if high_water is None:
+            return
+        while self.waiting and self.kv_pressure > high_water:
+            victim = min(
+                self.waiting,
+                key=lambda rid: (
+                    self.records[rid].request.priority,
+                    -self.records[rid].request.arrival_time,
+                    -rid,
+                ),
+            )
+            self._shed(victim, "high_water")
+            self.high_water_sheds += 1
+
     def step(self) -> float:
-        """One engine iteration (admission, prefill, decode, growth).
+        """One engine iteration (shedding, admission, prefill, decode,
+        growth).
 
         Returns the simulated seconds consumed; advances :attr:`clock`.
         """
         self.iterations += 1
         records, waiting, running = self.records, self.waiting, self.running
 
-        # Admission: reserve the full prompt, enter PREFILLING.
+        # Overload controllers read the pre-iteration saturation signals.
+        if self.brownout is not None:
+            self.brownout.observe(self.clock, self.queue_delay, self.kv_pressure)
+        self._shed_high_water()
+
+        # Admission: reserve the full prompt, enter PREFILLING.  Requests
+        # that provably cannot meet their TTFT deadline are shed here,
+        # before any capacity is reserved for them.
         while waiting and len(running) < self.config.max_batch:
             rid = waiting[0]
             rec = records[rid]
-            if not self.allocator.grow(rid, rec.request.prompt_len):
+            if self._shed_doomed(rid):
+                continue
+            if not self.allocator.grow(
+                rid, rec.request.prompt_len, self._bytes_scale(rec)
+            ):
                 break
             waiting.popleft()
             rec.status = RequestStatus.PREFILLING
@@ -250,26 +452,38 @@ class ServingEngine:
         if chunk is None:
             for rid in prefilling:
                 rec = records[rid]
-                step_time += self._prefill_latency(rec.request.prompt_len)
+                step_time += self._prefill_latency(
+                    rec.request.prompt_len, kv_bits=rec.kv_bits
+                )
                 rec.prefilled = rec.request.prompt_len
                 rec.status = RequestStatus.RUNNING
         elif prefilling:
             rid = prefilling[0]
             rec = records[rid]
             n = min(chunk, rec.request.prompt_len - rec.prefilled)
-            step_time += self._prefill_latency(n, kv_len=rec.prefilled + n)
+            step_time += self._prefill_latency(
+                n, kv_len=rec.prefilled + n, kv_bits=rec.kv_bits
+            )
             rec.prefilled += n
             if rec.prefilled >= rec.request.prompt_len:
                 rec.status = RequestStatus.RUNNING
 
-        # Batched decode for fully-prefilled requests.
+        # Batched decode for fully-prefilled requests.  The batch's cost
+        # uses its mean admitted KV width — browned-out requests read
+        # fewer cache bytes per step, so a degraded batch decodes faster.
         decoding = [
             rid for rid in running
             if records[rid].status is RequestStatus.RUNNING
         ]
         if decoding:
             mean_ctx = sum(records[rid].context_len for rid in decoding) / len(decoding)
-            step_time += self._decode_latency(len(decoding), mean_ctx)
+            bits = [
+                records[rid].kv_bits
+                for rid in decoding
+                if records[rid].kv_bits is not None
+            ]
+            mean_bits = sum(bits) / len(bits) if len(bits) == len(decoding) else None
+            step_time += self._decode_latency(len(decoding), mean_ctx, mean_bits)
         if step_time == 0.0 and not decoding:
             # Nothing processable (all prefilling under chunking with
             # zero-size chunks cannot happen; guard anyway).
@@ -305,7 +519,9 @@ class ServingEngine:
                 waiting.appendleft(victim)
                 if victim != rid:
                     # Retry the growth for the current request.
-                    if not self.allocator.grow(rid, rec.context_len + 1):
+                    if not self.allocator.grow(
+                        rid, rec.context_len + 1, self._bytes_scale(rec)
+                    ):
                         self.allocator.release(rid)
                         rec.reset_for_requeue()
                         running.remove(rid)
@@ -316,37 +532,49 @@ class ServingEngine:
 
     def summarize(self) -> ServingMetrics:
         """Aggregate the current records into operator metrics."""
-        return summarize(list(self.records.values()), makespan=self.clock)
+        return summarize(
+            list(self.records.values()),
+            makespan=self.clock,
+            slo=self.config.slo,
+            base_kv_bits=self.method.kv_bits,
+            extra_wasted_prefill=self.cancelled_wasted_prefill_tokens,
+            extra_wasted_decode=self.cancelled_wasted_decode_tokens,
+        )
 
     # -- closed-loop simulation ------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ServingMetrics:
         self.start()
-        arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
-        for r in arrivals:
-            # Records exist up-front so `total` counts never-admitted
-            # requests; arrival into the FCFS queue happens on the clock.
-            self.records[r.request_id] = RequestRecord(request=r)
-        arrival_idx = 0
+        # Offer heap: (time, seq, record).  Arrivals seed it; DEFER
+        # verdicts re-enter at ``now + defer_retry_s`` until accepted or
+        # their defer budget turns into a terminal REJECT, so every
+        # request ends up in ``records`` exactly once.
+        offers: List[Tuple[float, int, RequestRecord]] = []
+        seq = 0
+        for r in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
+            offers.append((r.arrival_time, seq, RequestRecord(request=r)))
+            seq += 1
+        heapq.heapify(offers)
 
         for _ in range(self.config.max_iterations):
-            # Drain arrivals into the FCFS queue.
-            while (
-                arrival_idx < len(arrivals)
-                and arrivals[arrival_idx].arrival_time <= self.clock
-            ):
-                self.waiting.append(arrivals[arrival_idx].request_id)
-                arrival_idx += 1
+            # Drain due offers into the FCFS queue (or terminal REJECT).
+            while offers and offers[0][0] <= self.clock:
+                _, _, record = heapq.heappop(offers)
+                if self.submit_record(record) is AdmissionVerdict.DEFER:
+                    seq += 1
+                    heapq.heappush(
+                        offers, (self.clock + self.defer_retry_s, seq, record)
+                    )
 
-            # Idle: jump to the next arrival.
+            # Idle: jump to the next offer.
             if not self.busy:
-                if arrival_idx >= len(arrivals):
+                if not offers:
                     break
-                self.clock = arrivals[arrival_idx].arrival_time
+                self.clock = offers[0][0]
                 continue
 
             self.step()
 
-            if not self.busy and arrival_idx >= len(arrivals):
+            if not self.busy and not offers:
                 break
         else:
             raise RuntimeError("engine iteration limit exceeded (livelock?)")

@@ -17,10 +17,25 @@ class RequestStatus(enum.Enum):
     #: Terminal failure: the retry budget ran out (crash/timeout recovery
     #: gave up).  Counted against availability, never against goodput.
     FAILED = "failed"
+    #: Turned away at the door by admission control (token bucket, queue
+    #: bound, KV-pressure gate, or a SHED_ONLY brownout).  No work was
+    #: ever spent on the request.
+    REJECTED = "rejected"
+    #: Accepted into the queue but deliberately dropped before decode:
+    #: either it provably could not meet its TTFT deadline at dequeue
+    #: time, or it was a victim of high-water KV-pressure shedding.
+    SHED = "shed"
 
 
 #: Statuses from which a record never leaves.
-TERMINAL_STATUSES = frozenset({RequestStatus.FINISHED, RequestStatus.FAILED})
+TERMINAL_STATUSES = frozenset(
+    {
+        RequestStatus.FINISHED,
+        RequestStatus.FAILED,
+        RequestStatus.REJECTED,
+        RequestStatus.SHED,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -35,6 +50,9 @@ class Request:
     #: one session share a KV prefix, so routers may pin a session to one
     #: replica.  0 (the default) means "no session".
     session_id: int = 0
+    #: Scheduling priority under overload (higher = more important).
+    #: High-water shedding victimizes the lowest priority first.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.gen_len <= 0:
@@ -68,6 +86,19 @@ class RequestRecord:
     wasted_prefill_tokens: int = 0
     #: Generated tokens lost to fault evictions (regenerated after retry).
     wasted_decode_tokens: int = 0
+    #: Effective KV bits this request was admitted at (the brownout
+    #: controller may downshift below the method's full precision; ``None``
+    #: until admission assigns a width).
+    kv_bits: Optional[float] = None
+    #: DEFER verdicts received so far (bounded; the budget's exhaustion
+    #: turns the next DEFER into a REJECT so every request terminates).
+    defers: int = 0
+    #: Time the request was rejected/shed (terminal overload outcomes).
+    rejected_at: Optional[float] = None
+    shed_at: Optional[float] = None
+    #: Why admission/shedding turned the request away (e.g. "queue_full",
+    #: "kv_pressure", "deadline", "high_water", "shed_only").
+    outcome_reason: Optional[str] = None
 
     @property
     def context_len(self) -> int:
@@ -119,3 +150,15 @@ class RequestRecord:
         """Terminal failure after the retry budget is exhausted."""
         self.status = RequestStatus.FAILED
         self.failed_at = now
+
+    def mark_rejected(self, now: float, reason: str) -> None:
+        """Terminal admission rejection — zero work was spent."""
+        self.status = RequestStatus.REJECTED
+        self.rejected_at = now
+        self.outcome_reason = reason
+
+    def mark_shed(self, now: float, reason: str) -> None:
+        """Terminal queue shed (deadline-doomed or high-water victim)."""
+        self.status = RequestStatus.SHED
+        self.shed_at = now
+        self.outcome_reason = reason

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.serving.request import Request
 
-__all__ = ["poisson_workload", "closed_batch_workload"]
+__all__ = ["poisson_workload", "closed_batch_workload", "ramp_workload"]
 
 
 def poisson_workload(
@@ -51,6 +51,53 @@ def poisson_workload(
             session_id=int(sessions[i]),
         )
         for i in range(n_requests)
+    ]
+
+
+def ramp_workload(
+    phases: Sequence[Tuple[float, float]],
+    prompt_range: Tuple[int, int] = (512, 1536),
+    gen_range: Tuple[int, int] = (64, 256),
+    rng: Optional[np.random.Generator] = None,
+) -> List[Request]:
+    """Piecewise-Poisson arrivals: ``phases`` is ``[(rate, duration_s), ...]``.
+
+    The overload-protection workload shape: a calm phase, a surge that
+    drives the brownout controller through its levels, and a calm tail
+    long enough to watch it recover to NORMAL.  Phase boundaries are on
+    the arrival clock; lengths are drawn per request exactly as in
+    :func:`poisson_workload`, and the whole stream is a deterministic
+    function of ``rng``'s seed.
+    """
+    if not phases:
+        raise ValueError("phases must be non-empty")
+    for rate, duration in phases:
+        if rate <= 0 or duration <= 0:
+            raise ValueError("phase rates and durations must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    arrivals: List[float] = []
+    t0 = 0.0
+    for rate, duration in phases:
+        t = t0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= t0 + duration:
+                break
+            arrivals.append(t)
+        t0 += duration
+    n = len(arrivals)
+    if n == 0:
+        raise ValueError("phases produced no arrivals; lengthen them")
+    prompts = rng.integers(prompt_range[0], prompt_range[1] + 1, size=n)
+    gens = rng.integers(gen_range[0], gen_range[1] + 1, size=n)
+    return [
+        Request(
+            request_id=i,
+            arrival_time=arrivals[i],
+            prompt_len=int(prompts[i]),
+            gen_len=int(gens[i]),
+        )
+        for i in range(n)
     ]
 
 

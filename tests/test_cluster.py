@@ -15,6 +15,7 @@ from repro.cluster import (
     Replica,
     make_router,
 )
+from repro.overload import AdmissionConfig, BreakerConfig
 from repro.perf.attention_costs import METHODS
 from repro.perf.e2e import ModelGeometry, e2e_step_latency
 from repro.perf.gpu import A100_80GB
@@ -578,3 +579,106 @@ class TestClusterFaults:
         ):
             assert key in d
         assert d["failed"] + d["completed"] == d["total"]
+
+
+class TestClusterOverload:
+    """Cluster-level admission control and circuit breakers."""
+
+    ADMISSION = AdmissionConfig(
+        rate_tokens_per_s=2_000.0, burst_tokens=8_000.0,
+        max_queue_depth=6, max_defers=2,
+    )
+
+    def test_conservation_matrix_with_admission(self, model):
+        """Every policy x faults x admission cell terminates every request
+        exactly once: completed + failed + rejected + shed == submitted."""
+        wl = bursty_workload(n=30, rate=12.0)
+        for policy in ROUTER_POLICIES:
+            for faults in (None, FAULTS):
+                for admission in (None, self.ADMISSION):
+                    sim = ClusterSimulator(
+                        model, METHODS["turbo_mixed"],
+                        ClusterConfig(
+                            n_replicas=2, policy=policy,
+                            faults=faults, admission=admission,
+                        ),
+                    )
+                    m = sim.run(wl)
+                    label = (
+                        f"{policy}/faults={bool(faults)}"
+                        f"/admission={bool(admission)}"
+                    )
+                    seen = dict(sim.failed)
+                    seen.update(sim.rejected)
+                    for replica in sim.replicas:
+                        for rid, rec in replica.records.items():
+                            assert rid not in seen, f"{label}: rid {rid} twice"
+                            seen[rid] = rec
+                    assert set(seen) == {r.request_id for r in wl}, label
+                    terminal = (
+                        RequestStatus.FINISHED, RequestStatus.FAILED,
+                        RequestStatus.REJECTED, RequestStatus.SHED,
+                    )
+                    for rec in seen.values():
+                        assert rec.status in terminal, label
+                    assert (
+                        m.completed + m.failed + m.rejected + m.shed
+                        == m.total == len(wl)
+                    ), label
+                    if admission is None:
+                        assert m.rejected == 0 and m.shed == 0, label
+
+    def test_admission_rejects_under_pressure_and_is_deterministic(self, model):
+        wl = bursty_workload(n=40, rate=20.0)
+        cfg = ClusterConfig(
+            n_replicas=2, policy="least_kv", admission=self.ADMISSION,
+        )
+        a = ClusterSimulator(model, METHODS["turbo_mixed"], cfg).run(wl)
+        b = ClusterSimulator(model, METHODS["turbo_mixed"], cfg).run(wl)
+        assert a.rejected > 0
+        assert a.as_dict() == b.as_dict()
+        for rec in ClusterSimulator(model, METHODS["turbo_mixed"], cfg).rejected.values():
+            assert rec.outcome_reason is not None
+
+    def test_rejected_records_carry_reasons(self, model):
+        wl = bursty_workload(n=40, rate=20.0)
+        sim = ClusterSimulator(
+            model, METHODS["turbo_mixed"],
+            ClusterConfig(n_replicas=2, admission=self.ADMISSION),
+        )
+        m = sim.run(wl)
+        assert m.rejected == len(sim.rejected) > 0
+        for rec in sim.rejected.values():
+            assert rec.status is RequestStatus.REJECTED
+            assert rec.rejected_at is not None
+            assert rec.outcome_reason is not None
+
+    def test_breaker_trips_on_timeout_storm(self, model):
+        from dataclasses import replace as dreplace
+
+        wl = bursty_workload(n=30)
+        tight = dreplace(FAULTS, request_timeout_s=4.0, max_retries=8)
+        sim = ClusterSimulator(
+            model, METHODS["fp16"],
+            ClusterConfig(
+                n_replicas=2, policy="least_kv", faults=tight,
+                breaker=BreakerConfig(failure_threshold=2, open_duration_s=10.0),
+            ),
+        )
+        m = sim.run(wl)
+        assert m.timeouts > 0
+        assert m.breaker_trips > 0
+        assert sum(b.trips for b in sim.breakers.values()) == m.breaker_trips
+        assert m.completed + m.failed + m.rejected + m.shed == m.total == 30
+
+    def test_breaker_does_not_change_healthy_run(self, model):
+        wl = bursty_workload(n=25)
+        plain = ClusterSimulator(
+            model, METHODS["turbo_mixed"], ClusterConfig(n_replicas=2)
+        ).run(wl)
+        guarded = ClusterSimulator(
+            model, METHODS["turbo_mixed"],
+            ClusterConfig(n_replicas=2, breaker=BreakerConfig()),
+        ).run(wl)
+        assert guarded.breaker_trips == 0
+        assert guarded.as_dict() == plain.as_dict()

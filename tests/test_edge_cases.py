@@ -104,7 +104,8 @@ class TestTaskEdges:
 
     def test_request_status_enum_complete(self):
         assert {s.value for s in RequestStatus} == {
-            "waiting", "prefilling", "running", "finished", "failed"
+            "waiting", "prefilling", "running", "finished", "failed",
+            "rejected", "shed",
         }
 
 

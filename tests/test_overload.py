@@ -1,0 +1,385 @@
+"""Tests for the overload-protection stack: admission, brownout, breaker,
+and their integration into the serving engine."""
+
+import numpy as np
+import pytest
+
+from repro.overload import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionVerdict,
+    BreakerConfig,
+    BreakerState,
+    BrownoutConfig,
+    BrownoutController,
+    BrownoutLevel,
+    CircuitBreaker,
+)
+from repro.perf.attention_costs import METHODS
+from repro.perf.e2e import ModelGeometry
+from repro.serving import SLO, ServingEngine, ramp_workload
+from repro.serving.engine import EngineConfig
+from repro.serving.request import Request, RequestRecord, RequestStatus
+from repro.serving.workload import poisson_workload
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ModelGeometry.phi3_medium()
+
+
+def record(rid=0, prompt=512, gen=64, arrival=0.0, priority=0):
+    return RequestRecord(
+        request=Request(rid, arrival, prompt, gen, priority=priority)
+    )
+
+
+class TestAdmissionController:
+    def test_accepts_when_unloaded(self):
+        ctl = AdmissionController(AdmissionConfig())
+        verdict, reason = ctl.decide(record(), now=0.0, queue_depth=0, kv_pressure=0.0)
+        assert verdict is AdmissionVerdict.ACCEPT and reason == "ok"
+        assert ctl.accepted == 1
+
+    def test_queue_full_rejects(self):
+        ctl = AdmissionController(AdmissionConfig(max_queue_depth=4))
+        verdict, reason = ctl.decide(record(), 0.0, queue_depth=4, kv_pressure=0.0)
+        assert verdict is AdmissionVerdict.REJECT and reason == "queue_full"
+
+    def test_kv_gates_defer_then_reject(self):
+        cfg = AdmissionConfig(kv_defer_pressure=1.5, kv_reject_pressure=3.0)
+        ctl = AdmissionController(cfg)
+        assert ctl.decide(record(), 0.0, 0, 1.6)[0] is AdmissionVerdict.DEFER
+        assert ctl.decide(record(1), 0.0, 0, 3.5)[0] is AdmissionVerdict.REJECT
+
+    def test_token_bucket_defers_and_refills(self):
+        ctl = AdmissionController(
+            AdmissionConfig(rate_tokens_per_s=100.0, burst_tokens=500.0)
+        )
+        big = record(prompt=400, gen=200)  # cost 600 > burst 500
+        verdict, reason = ctl.decide(big, 0.0, 0, 0.0)
+        assert verdict is AdmissionVerdict.DEFER and reason == "token_bucket"
+        # After 1 s the bucket has refilled to its cap and admits it.
+        verdict, _ = ctl.decide(big, 1.0, 0, 0.0)
+        assert verdict is AdmissionVerdict.DEFER  # 500 cap still < 600
+        small = record(1, prompt=300, gen=100)  # cost 400 <= 500
+        assert ctl.decide(small, 2.0, 0, 0.0)[0] is AdmissionVerdict.ACCEPT
+        assert ctl.bucket == pytest.approx(100.0)
+
+    def test_bucket_only_charged_on_accept(self):
+        ctl = AdmissionController(
+            AdmissionConfig(rate_tokens_per_s=100.0, burst_tokens=1000.0)
+        )
+        ctl.decide(record(), 0.0, 0, 5.0)  # REJECT: kv
+        assert ctl.bucket == pytest.approx(1000.0)
+
+    def test_defer_budget_exhaustion_becomes_terminal_reject(self):
+        ctl = AdmissionController(AdmissionConfig(max_defers=2))
+        rec = record()
+        for _ in range(2):
+            verdict, _ = ctl.decide(rec, 0.0, 0, 2.0)
+            assert verdict is AdmissionVerdict.DEFER
+        verdict, reason = ctl.decide(rec, 0.0, 0, 2.0)
+        assert verdict is AdmissionVerdict.REJECT and reason == "defer_budget"
+        assert rec.defers == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(kv_defer_pressure=4.0, kv_reject_pressure=3.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(rate_tokens_per_s=-1.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_defers=-1)
+
+
+class TestBrownoutController:
+    CFG = BrownoutConfig(
+        delay_scale_s=1.0, kv_scale=1.0, ewma_alpha=1.0, cooldown_s=5.0
+    )
+
+    def test_starts_normal_and_admits(self):
+        ctl = BrownoutController(self.CFG)
+        assert ctl.level is BrownoutLevel.NORMAL
+        assert ctl.admits_new_work
+        assert ctl.request_token_cap is None
+
+    def test_enter_edge_is_inclusive_exit_edge_exclusive(self):
+        # alpha=1.0 makes the EWMA track the raw sample exactly.
+        ctl = BrownoutController(self.CFG)
+        ctl.observe(0.0, queue_delay=0.999, kv_pressure=0.0)
+        assert ctl.level is BrownoutLevel.NORMAL  # below enter[0]
+        ctl.observe(1.0, queue_delay=1.0, kv_pressure=0.0)
+        assert ctl.level is BrownoutLevel.BROWNOUT_4BIT  # stress >= 1.0 enters
+        # Inside the hysteresis band [exit, enter) nothing moves.
+        ctl.observe(10.0, queue_delay=0.5, kv_pressure=0.0)
+        assert ctl.level is BrownoutLevel.BROWNOUT_4BIT
+        ctl.observe(20.0, queue_delay=0.499, kv_pressure=0.0)
+        assert ctl.level is BrownoutLevel.NORMAL  # stress < exit[0] leaves
+
+    def test_cooldown_bounds_transition_rate(self):
+        ctl = BrownoutController(self.CFG)
+        ctl.observe(0.0, 10.0, 0.0)
+        assert ctl.level is BrownoutLevel.BROWNOUT_4BIT
+        ctl.observe(1.0, 10.0, 0.0)  # within cooldown: held
+        assert ctl.level is BrownoutLevel.BROWNOUT_4BIT
+        ctl.observe(5.0, 10.0, 0.0)  # cooldown over: one more step
+        assert ctl.level is BrownoutLevel.BROWNOUT_2BIT
+        times = [t.time for t in ctl.transitions]
+        assert all(b - a >= self.CFG.cooldown_s for a, b in zip(times, times[1:]))
+
+    def test_shed_only_is_the_floor(self):
+        ctl = BrownoutController(self.CFG)
+        for t in (0.0, 5.0, 10.0, 15.0, 20.0):
+            ctl.observe(t, 100.0, 0.0)
+        assert ctl.level is BrownoutLevel.SHED_ONLY
+        assert not ctl.admits_new_work
+        assert ctl.request_token_cap == 0
+        assert len(ctl.transitions) == 3  # it cannot go deeper
+
+    def test_kv_pressure_inf_guard(self):
+        ctl = BrownoutController(self.CFG)
+        ctl.observe(0.0, 0.0, float("inf"))
+        assert np.isfinite(ctl.stress)
+
+    def test_bits_ladder_snap(self):
+        ctl = BrownoutController(self.CFG)
+        turbo = METHODS["turbo4"]  # 4.3 bits: 4-bit storage + 0.3 metadata
+        assert ctl.bits_for(turbo) == turbo.kv_bits  # NORMAL: unchanged
+        ctl.level = BrownoutLevel.BROWNOUT_4BIT
+        assert ctl.bits_for(turbo) == pytest.approx(turbo.kv_bits)  # min(4, 4)
+        ctl.level = BrownoutLevel.BROWNOUT_2BIT
+        assert ctl.bits_for(turbo) == pytest.approx(2.3)  # 2-bit + metadata
+
+    def test_fp16_has_no_precision_axis(self):
+        ctl = BrownoutController(self.CFG)
+        ctl.level = BrownoutLevel.BROWNOUT_2BIT
+        assert ctl.bits_for(METHODS["fp16"]) == 16.0
+
+    def test_brownout_never_raises_precision(self):
+        ctl = BrownoutController(self.CFG)
+        ctl.level = BrownoutLevel.BROWNOUT_4BIT  # target 4 > turbo2's 2
+        assert ctl.bits_for(METHODS["turbo2"]) == METHODS["turbo2"].kv_bits
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BrownoutConfig(exit_thresholds=(1.0, 2.0, 4.0))  # not below enter
+        with pytest.raises(ValueError):
+            BrownoutConfig(enter_thresholds=(4.0, 2.0, 1.0))  # not ascending
+        with pytest.raises(ValueError):
+            BrownoutConfig(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            BrownoutConfig(cooldown_s=0.0)
+
+
+class TestCircuitBreaker:
+    CFG = BreakerConfig(failure_threshold=2, open_duration_s=10.0)
+
+    def test_trips_on_consecutive_failures_only(self):
+        b = CircuitBreaker(self.CFG)
+        b.record_failure(0.0)
+        b.record_success(1.0)  # success resets the streak
+        b.record_failure(2.0)
+        assert b.state(3.0) is BreakerState.CLOSED
+        b.record_failure(4.0)
+        assert b.state(5.0) is BreakerState.OPEN
+        assert b.trips == 1
+        assert not b.allows(5.0)
+
+    def test_open_decays_to_half_open_probe(self):
+        b = CircuitBreaker(self.CFG)
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        assert b.state(9.9) is BreakerState.OPEN
+        assert b.state(10.0) is BreakerState.HALF_OPEN
+        assert b.allows(10.0)
+        b.record_dispatch(10.0)
+        assert not b.allows(10.5)  # probe budget (1) consumed
+
+    def test_half_open_success_closes(self):
+        b = CircuitBreaker(self.CFG)
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        b.record_dispatch(10.0)
+        b.record_success(11.0)
+        assert b.state(11.0) is BreakerState.CLOSED
+        assert b.allows(11.0)
+
+    def test_half_open_failure_retrips_immediately(self):
+        b = CircuitBreaker(self.CFG)
+        b.record_failure(0.0)
+        b.record_failure(0.0)
+        b.record_dispatch(10.0)
+        b.record_failure(11.0)  # one failure suffices in HALF_OPEN
+        assert b.state(11.0) is BreakerState.OPEN
+        assert b.trips == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(open_duration_s=0.0)
+
+
+SLO_TEST = SLO(ttft_s=15.0, tpot_s=0.25)
+
+
+def overloaded(n=120, rate=20.0, seed=0):
+    return poisson_workload(n, arrival_rate=rate, rng=np.random.default_rng(seed))
+
+
+class TestEngineOverload:
+    def test_plain_engine_unchanged_without_protection(self, model):
+        """No overload config => every submission is accepted, nothing is
+        rejected or shed — the PR-1 behaviour is the default."""
+        engine = ServingEngine(model, METHODS["turbo4"], EngineConfig())
+        m = engine.run(overloaded(n=30, rate=6.0))
+        assert m.rejected == 0 and m.shed == 0
+        assert m.completed == m.total == 30
+        assert engine.brownout is None and engine.admission is None
+
+    def test_submit_returns_verdict(self, model):
+        engine = ServingEngine(
+            model, METHODS["turbo4"],
+            EngineConfig(admission=AdmissionConfig(max_queue_depth=1)),
+        )
+        engine.start()
+        assert engine.submit(Request(0, 0.0, 512, 32)) is AdmissionVerdict.ACCEPT
+        assert engine.submit(Request(1, 0.0, 512, 32)) is AdmissionVerdict.REJECT
+        rec = engine.records[1]
+        assert rec.status is RequestStatus.REJECTED
+        assert rec.outcome_reason == "queue_full"
+        assert rec.rejected_at is not None
+
+    def test_duplicate_request_id_still_rejected(self, model):
+        engine = ServingEngine(model, METHODS["turbo4"], EngineConfig())
+        engine.start()
+        engine.submit(Request(0, 0.0, 128, 8))
+        with pytest.raises(ValueError):
+            engine.submit(Request(0, 0.0, 128, 8))
+
+    def test_deadline_shed_requires_slo(self, model):
+        with pytest.raises(ValueError):
+            EngineConfig(deadline_shed=True)
+
+    def test_deadline_shedding_kills_doomed_requests_before_decode(self, model):
+        engine = ServingEngine(
+            model, METHODS["turbo4"],
+            EngineConfig(slo=SLO(ttft_s=0.001, tpot_s=0.25), deadline_shed=True),
+        )
+        m = engine.run(overloaded(n=20, rate=50.0))
+        shed = [
+            r for r in engine.records.values()
+            if r.status is RequestStatus.SHED
+        ]
+        assert m.shed == len(shed) > 0
+        for r in shed:
+            assert r.outcome_reason == "deadline"
+            assert r.generated == 0  # zero decode tokens wasted
+            assert r.shed_at is not None
+
+    def test_high_water_shedding_prefers_low_priority(self, model):
+        # Calibrate the mark so the queue must shrink to roughly one
+        # request's worth of KV demand: the two priority-0 requests are
+        # shed (highest rid first) and the priority-1 request survives.
+        probe = ServingEngine(model, METHODS["turbo4"], EngineConfig())
+        probe.start()
+        probe.submit(Request(0, 0.0, 4096, 64, priority=1))
+        mark = probe.kv_pressure * 1.1
+        engine = ServingEngine(
+            model, METHODS["turbo4"],
+            EngineConfig(slo=SLO_TEST, shed_high_water=mark),
+        )
+        engine.start()
+        engine.submit(Request(0, 0.0, 4096, 64, priority=1))
+        engine.submit(Request(1, 0.0, 4096, 64, priority=0))
+        engine.submit(Request(2, 0.0, 4096, 64, priority=0))
+        while engine.busy:
+            engine.step()
+        sheds = {
+            rid: r for rid, r in engine.records.items()
+            if r.status is RequestStatus.SHED
+        }
+        assert set(sheds) == {1, 2}  # low priority shed, high survived
+        assert all(r.outcome_reason == "high_water" for r in sheds.values())
+        assert all(r.generated == 0 for r in sheds.values())
+        assert engine.records[0].status is RequestStatus.FINISHED
+
+    def test_brownout_assigns_reduced_bits_to_new_admissions(self, model):
+        cfg = EngineConfig(
+            slo=SLO_TEST,
+            brownout=BrownoutConfig(
+                delay_scale_s=1.0, kv_scale=1.0, ewma_alpha=1.0, cooldown_s=1.0
+            ),
+        )
+        engine = ServingEngine(model, METHODS["turbo4"], cfg)
+        # Arrivals must span the stressed window: bits are assigned at
+        # admission time, so only requests arriving *during* the brownout
+        # get the reduced width.
+        wl = ramp_workload(
+            [(2.0, 5.0), (20.0, 25.0), (2.0, 5.0)],
+            prompt_range=(2048, 4096),
+            rng=np.random.default_rng(0),
+        )
+        m = engine.run(wl)
+        bits = {
+            r.kv_bits for r in engine.records.values()
+            if r.status is RequestStatus.FINISHED
+        }
+        assert bits - {4.3, 2.3} == set()  # only ladder-snapped widths
+        assert 2.3 in bits  # the surge actually drove a downshift
+        assert m.brownout_tokens > 0
+        assert m.mean_kv_bits < METHODS["turbo4"].kv_bits
+
+    def test_cancel_counts_generated_tokens_as_wasted(self, model):
+        engine = ServingEngine(model, METHODS["turbo4"], EngineConfig())
+        engine.start()
+        engine.submit(Request(0, 0.0, 512, 64))
+        for _ in range(6):  # prefill + a few decode steps
+            engine.step()
+        rec = engine.records[0]
+        assert rec.generated > 0
+        generated, prefilled = rec.generated, rec.prefilled
+        engine.cancel(0)
+        assert engine.cancelled_wasted_decode_tokens == generated
+        assert engine.cancelled_wasted_prefill_tokens == prefilled
+        m = engine.summarize()
+        assert m.wasted_decode_tokens >= generated
+        assert m.wasted_prefill_tokens >= prefilled
+
+    def test_protected_run_is_deterministic(self, model):
+        cfg = EngineConfig(
+            slo=SLO_TEST, deadline_shed=True, shed_high_water=2.5,
+            admission=AdmissionConfig(
+                rate_tokens_per_s=8_000.0, burst_tokens=20_000.0,
+                max_queue_depth=32,
+            ),
+            brownout=BrownoutConfig(delay_scale_s=2.5, cooldown_s=5.0),
+        )
+        wl = ramp_workload(
+            [(4.0, 5.0), (25.0, 10.0), (3.0, 10.0)],
+            rng=np.random.default_rng(3),
+        )
+        a = ServingEngine(model, METHODS["turbo4"], cfg).run(wl)
+        b = ServingEngine(model, METHODS["turbo4"], cfg).run(wl)
+        assert a.as_dict() == b.as_dict()
+
+    def test_conservation_under_full_protection(self, model):
+        cfg = EngineConfig(
+            slo=SLO_TEST, deadline_shed=True, shed_high_water=2.5,
+            admission=AdmissionConfig(
+                rate_tokens_per_s=6_000.0, burst_tokens=15_000.0,
+                max_queue_depth=16, max_defers=2,
+            ),
+            brownout=BrownoutConfig(delay_scale_s=2.0, cooldown_s=4.0),
+        )
+        engine = ServingEngine(model, METHODS["turbo4"], cfg)
+        wl = overloaded(n=150, rate=25.0)
+        m = engine.run(wl)
+        assert m.completed + m.failed + m.rejected + m.shed == m.total == len(wl)
+        assert m.rejected > 0  # the protection actually engaged
+        # Every terminal reject/shed carries a reason and a timestamp.
+        for r in engine.records.values():
+            if r.status is RequestStatus.REJECTED:
+                assert r.outcome_reason and r.rejected_at is not None
+            elif r.status is RequestStatus.SHED:
+                assert r.outcome_reason and r.shed_at is not None

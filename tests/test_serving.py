@@ -306,3 +306,42 @@ class TestChunkedPrefill:
         assert plain.completed == chunked.completed == 1
         # Same order of magnitude; chunking never loses tokens.
         assert chunked.output_tokens == plain.output_tokens
+
+
+class TestServingMetricsPercentiles:
+    """Percentile and counter extensions added with the overload stack."""
+
+    def _run(self, model, slo=None):
+        from repro.serving.metrics import SLO
+
+        cfg = EngineConfig(slo=slo) if slo else EngineConfig()
+        engine = ServingEngine(model, METHODS["turbo4"], cfg)
+        wl = poisson_workload(40, arrival_rate=8.0, rng=np.random.default_rng(6))
+        return engine.run(wl)
+
+    def test_latency_percentiles_are_ordered(self, model):
+        m = self._run(model)
+        assert m.p50_ttft <= m.p95_ttft <= m.p99_ttft
+        assert m.p50_tpot <= m.p95_tpot <= m.p99_tpot
+        assert m.p50_queue_delay <= m.p95_queue_delay <= m.p99_queue_delay
+        assert m.p50_queue_delay >= 0.0
+
+    def test_as_dict_exposes_overload_counters(self, model):
+        d = self._run(model).as_dict()
+        for key in (
+            "rejected", "shed", "failed", "brownout_tokens", "mean_kv_bits",
+            "p50_ttft_s", "p99_ttft_s", "p50_queue_delay_s",
+            "p99_queue_delay_s", "goodput_rps", "slo_attainment",
+        ):
+            assert key in d
+        assert d["rejected"] == 0 and d["shed"] == 0
+        # Without an SLO the goodput fields are None, not NaN, so the
+        # dict is JSON-clean and comparable with ``==``.
+        assert d["goodput_rps"] is None and d["slo_attainment"] is None
+
+    def test_goodput_with_slo(self, model):
+        from repro.serving.metrics import SLO
+
+        m = self._run(model, slo=SLO(ttft_s=1e6, tpot_s=1e6))
+        assert m.slo_attainment == 1.0  # infinitely loose deadline
+        assert m.goodput_rps == pytest.approx(m.completed / m.makespan)
