@@ -1,0 +1,88 @@
+"""Prefix-cache benchmark (Zipf multi-tenant stream through the full stack).
+
+Besides asserting the harness's headline claims, this writes
+``BENCH_prefix.json`` next to the repo root with the three numbers an
+operator would quote: cache-hit ratio, the TTFT delta sharing buys at an
+equal KV budget, and sustained request throughput.
+"""
+
+import json
+import math
+from pathlib import Path
+
+from repro.harness import prefix
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_prefix.json"
+
+
+def test_prefix_cache_full(benchmark, once):
+    cells, fleet_cells = once(benchmark, prefix.run, False)
+    by_mode = {c.mode: c for c in cells}
+    by_policy = {f.policy: f for f in fleet_cells}
+    assert set(by_mode) == {"open", "prefix", "tenancy"}
+    assert set(by_policy) == {"round_robin", "affinity"}
+
+    # Conservation in every cell, and every pool's audit is clean.
+    for cell in list(cells) + list(fleet_cells):
+        assert cell.conserved
+        assert cell.pool_problems == ()
+
+    open_m = by_mode["open"].metrics
+    prefix_m = by_mode["prefix"].metrics
+    tenancy_m = by_mode["tenancy"].metrics
+
+    # The no-sharing baseline never touches the pool.
+    assert math.isnan(open_m.prefix_hit_ratio)
+    assert open_m.shared_blocks == 0 and open_m.cow_copies == 0
+
+    # Headline 1: Zipf-shared traffic resolves most offered prompt
+    # tokens from the pool.
+    assert prefix_m.prefix_hit_ratio > 0.5
+    assert prefix_m.prefill_tokens_saved > 0
+    assert prefix_m.shared_blocks > 0
+
+    # Headline 2: sharing wins TTFT at an equal KV byte budget, on the
+    # identical arrival stream.
+    assert prefix_m.p50_ttft < open_m.p50_ttft
+    assert prefix_m.goodput_rps >= open_m.goodput_rps
+
+    # Headline 3: tenant buckets + fair share make attainment fair —
+    # near-1 Jain index — without giving back the sharing win.
+    assert tenancy_m.fairness_jain > 0.9
+    assert tenancy_m.fairness_jain > by_mode["prefix"].metrics.fairness_jain
+    assert tenancy_m.p50_ttft < open_m.p50_ttft
+
+    # Headline 4: warmth-probing affinity routing keeps fleet-wide hit
+    # ratio at least as high as locality-blind round-robin.
+    rr, aff = by_policy["round_robin"].metrics, by_policy["affinity"].metrics
+    assert aff.prefix_hit_ratio >= rr.prefix_hit_ratio
+
+    # Reproducibility: the same seed regenerates identical metrics.
+    again, fleet_again = prefix.run(False)
+    assert [c.metrics for c in again] == [c.metrics for c in cells]
+    assert [f.metrics for f in fleet_again] == [f.metrics for f in fleet_cells]
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "method": prefix.PREFIX_METHOD,
+                "cache_hit_ratio": round(prefix_m.prefix_hit_ratio, 4),
+                "prefill_tokens_saved": prefix_m.prefill_tokens_saved,
+                "ttft_p50_open_s": round(open_m.p50_ttft, 3),
+                "ttft_p50_prefix_s": round(prefix_m.p50_ttft, 3),
+                "ttft_p50_delta_s": round(open_m.p50_ttft - prefix_m.p50_ttft, 3),
+                "requests_per_s": round(
+                    prefix_m.completed / prefix_m.makespan, 3
+                ),
+                "goodput_rps": round(prefix_m.goodput_rps, 3),
+                "fairness_jain_tenancy": round(tenancy_m.fairness_jain, 4),
+                "fleet_hit_ratio_affinity": round(aff.prefix_hit_ratio, 4),
+                "fleet_hit_ratio_round_robin": round(rr.prefix_hit_ratio, 4),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    print()
+    prefix.main(quick=False)

@@ -1,0 +1,111 @@
+"""Multi-tenant serving: shared prefixes are capacity, tenancy is fairness.
+
+Drives a Zipf-shared multi-tenant stream (many tenants reusing a few hot
+system prompts) through three engines at the *same KV byte budget* and
+narrates what the `repro.prefix` stack does:
+
+1. Content-addressed sharing: how many prompt tokens the pool resolved
+   from cache, the prefill compute that skipped, and the TTFT this buys
+   over the no-sharing engine on the identical stream.
+2. Copy-on-write: exact-replay prompts share their tail block until the
+   first decode token diverges them, so sharing never corrupts output.
+3. Tenant fairness: per-tenant token buckets plus weighted fair-share
+   admission defer the hog tenants; the Jain index over per-tenant SLO
+   attainment rises toward 1 while the sharing win is kept.
+
+    python examples/multi_tenant_serving.py [--requests 300] [--tenants 200]
+"""
+
+import argparse
+from collections import Counter
+
+import numpy as np
+
+from repro.harness.common import render_table
+from repro.harness.prefix import PREFIX_SLO, tenancy_config
+from repro.perf import METHODS, ModelGeometry
+from repro.prefix import PrefixCacheConfig
+from repro.serving import ServingEngine, zipf_shared_workload
+from repro.serving.engine import EngineConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--tenants", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args()
+
+    model = ModelGeometry.phi3_medium()
+    method = METHODS["turbo4"]
+    workload = zipf_shared_workload(
+        args.requests,
+        arrival_rate=20.0,
+        n_tenants=args.tenants,
+        zipf_s=1.6,
+        rng=np.random.default_rng(args.seed),
+    )
+    hot = Counter(r.prefix_id for r in workload).most_common(3)
+    print(
+        f"Zipf-shared workload: {len(workload)} requests, "
+        f"{args.tenants} tenants; hottest prefixes "
+        + ", ".join(f"#{pid} x{n}" for pid, n in hot) + "\n"
+    )
+
+    # 1. Sharing: same stream, same KV budget, with and without the pool.
+    open_metrics = ServingEngine(
+        model, method, EngineConfig(slo=PREFIX_SLO)
+    ).run(workload)
+    pooled = ServingEngine(
+        model, method, EngineConfig(slo=PREFIX_SLO, prefix=PrefixCacheConfig())
+    )
+    pooled_metrics = pooled.run(workload)
+    print("1) Content-addressed sharing (equal KV byte budget):")
+    print(render_table(
+        ["engine", "hit ratio", "prefill tok saved", "p50 TTFT", "goodput/s"],
+        [
+            ["no sharing", "-", 0, f"{open_metrics.p50_ttft:.2f}",
+             f"{open_metrics.goodput_rps:.2f}"],
+            ["prefix pool", f"{pooled_metrics.prefix_hit_ratio * 100:.0f}%",
+             pooled_metrics.prefill_tokens_saved,
+             f"{pooled_metrics.p50_ttft:.2f}",
+             f"{pooled_metrics.goodput_rps:.2f}"],
+        ],
+    ))
+    assert pooled_metrics.p50_ttft < open_metrics.p50_ttft, "sharing must win"
+    speedup = open_metrics.p50_ttft / pooled_metrics.p50_ttft
+    print(f"   sharing wins TTFT: p50 {speedup:.1f}x faster on the identical stream\n")
+
+    # 2. Copy-on-write kept sharing safe: exact replays shared even their
+    # tail block, then diverged privately at the first decode token.
+    print("2) Copy-on-write on shared tails:")
+    print(f"   peak resident shared blocks: {pooled_metrics.shared_blocks}")
+    print(f"   COW block copies at decode divergence: {pooled_metrics.cow_copies}")
+    problems = pooled.prefix_pool.check_invariants()
+    print(f"   pool audit after run (refcounts, residency, accounting): "
+          f"{'clean' if not problems else problems}\n")
+    assert problems == [], "block conservation violated"
+
+    # 3. Fairness: tenant buckets + weighted fair share on top of the pool.
+    fair = ServingEngine(model, method, tenancy_config())
+    fair_metrics = fair.run(workload)
+    print("3) Tenant fairness (buckets + weighted fair share):")
+    print(render_table(
+        ["engine", "done", "rejected", "Jain fairness", "p50 TTFT"],
+        [
+            ["prefix pool",
+             pooled_metrics.completed, pooled_metrics.rejected,
+             f"{pooled_metrics.fairness_jain:.3f}",
+             f"{pooled_metrics.p50_ttft:.2f}"],
+            ["+ tenancy",
+             fair_metrics.completed, fair_metrics.rejected,
+             f"{fair_metrics.fairness_jain:.3f}",
+             f"{fair_metrics.p50_ttft:.2f}"],
+        ],
+    ))
+    print(f"   fairness: Jain index {pooled_metrics.fairness_jain:.3f} -> "
+          f"{fair_metrics.fairness_jain:.3f} with tenancy gates on")
+
+
+if __name__ == "__main__":
+    main()

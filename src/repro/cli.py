@@ -8,6 +8,7 @@
     python -m repro cluster --faults --crash-rate 0.05 --timeout 30 --autoscale
     python -m repro guard   --quick
     python -m repro overload --quick
+    python -m repro prefix  --quick
     python -m repro harness table2 fig6 --quick
 
 Everything the CLI prints is produced by the same library calls the tests
@@ -205,6 +206,13 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_prefix(args: argparse.Namespace) -> int:
+    from repro.harness.prefix import main as prefix_main
+
+    prefix_main(quick=args.quick)
+    return 0
+
+
 def _cmd_harness(args: argparse.Namespace) -> int:
     from repro.harness.run_all import main as run_all_main
 
@@ -298,6 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_o.add_argument("--quick", action="store_true")
     p_o.set_defaults(fn=_cmd_overload)
+
+    p_p = sub.add_parser(
+        "prefix",
+        help="prefix-cache & multi-tenancy demo: content-addressed KV "
+             "sharing, tenant fair share, and locality routing under "
+             "Zipf traffic",
+    )
+    p_p.add_argument("--quick", action="store_true")
+    p_p.set_defaults(fn=_cmd_prefix)
 
     p_h = sub.add_parser("harness", help="run table/figure regenerators")
     p_h.add_argument("names", nargs="*", help="subset (default: all)")

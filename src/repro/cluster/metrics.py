@@ -26,7 +26,7 @@ import numpy as np
 
 # SLO moved to repro.serving.metrics in the overload PR (the engine needs
 # deadlines for deadline-aware shedding); re-exported here unchanged.
-from repro.serving.metrics import SLO
+from repro.serving.metrics import NAN, SLO, jain_index
 from repro.serving.request import RequestRecord, RequestStatus
 
 __all__ = [
@@ -40,7 +40,7 @@ __all__ = [
 
 
 def _percentile(values: Sequence[float], q: float) -> float:
-    return float(np.percentile(np.asarray(values), q)) if values else float("nan")
+    return float(np.percentile(np.asarray(values), q)) if values else NAN
 
 
 @dataclass(frozen=True)
@@ -126,9 +126,20 @@ class ClusterMetrics:
     #: Circuit-breaker trips summed over all replicas.
     breaker_trips: int = 0
     #: Queue delay (arrival -> admission) percentiles over admitted work.
-    p50_queue_delay: float = float("nan")
-    p95_queue_delay: float = float("nan")
-    p99_queue_delay: float = float("nan")
+    p50_queue_delay: float = NAN
+    p95_queue_delay: float = NAN
+    p99_queue_delay: float = NAN
+    # -- prefix cache / tenancy (repro.prefix) -------------------------------
+    #: Fleet-wide prefix-cache hit ratio (prefill tokens skipped / tokens
+    #: offered); NaN when no replica ran a pool.
+    prefix_hit_ratio: float = NAN
+    prefill_tokens_saved: int = 0
+    #: Peak pool-resident shared blocks summed over replicas, and
+    #: copy-on-write block copies over all requests.
+    shared_blocks: int = 0
+    cow_copies: int = 0
+    #: Jain fairness index over per-tenant SLO attainment.
+    fairness_jain: float = NAN
     replicas: Tuple[ReplicaStats, ...] = field(default=())
     scale_events: Tuple[ScaleEvent, ...] = field(default=())
 
@@ -192,6 +203,11 @@ class ClusterMetrics:
             "p50_queue_delay_s": self.p50_queue_delay,
             "p95_queue_delay_s": self.p95_queue_delay,
             "p99_queue_delay_s": self.p99_queue_delay,
+            "prefix_hit_ratio": self.prefix_hit_ratio,
+            "prefill_tokens_saved": self.prefill_tokens_saved,
+            "shared_blocks": self.shared_blocks,
+            "cow_copies": self.cow_copies,
+            "fairness_jain": self.fairness_jain,
         }
 
 
@@ -208,6 +224,7 @@ def summarize_cluster(
     rejected_records: Sequence[RequestRecord] = (),
     base_kv_bits: Optional[float] = None,
     breaker_trips: int = 0,
+    shared_blocks: int = 0,
 ) -> ClusterMetrics:
     """Aggregate per-replica request records into fleet metrics.
 
@@ -240,6 +257,18 @@ def summarize_cluster(
             for r in records
             if r.kv_bits is not None and r.kv_bits < base_kv_bits
         )
+    lookup = sum(r.prefix_lookup_tokens for r in records)
+    saved = sum(r.prefix_hit_tokens for r in records)
+    submitted_by_tenant: Dict[int, int] = {}
+    good_by_tenant: Dict[int, int] = {}
+    for r in records:
+        t = r.request.tenant_id
+        submitted_by_tenant[t] = submitted_by_tenant.get(t, 0) + 1
+        if slo.met_by(r):
+            good_by_tenant[t] = good_by_tenant.get(t, 0) + 1
+    fairness = jain_index(
+        [good_by_tenant.get(t, 0) / n for t, n in submitted_by_tenant.items()]
+    )
     return ClusterMetrics(
         completed=len(finished),
         total=len(records),
@@ -272,6 +301,11 @@ def summarize_cluster(
         p50_queue_delay=_percentile(delays, 50),
         p95_queue_delay=_percentile(delays, 95),
         p99_queue_delay=_percentile(delays, 99),
+        prefix_hit_ratio=saved / lookup if lookup else NAN,
+        prefill_tokens_saved=saved,
+        shared_blocks=shared_blocks,
+        cow_copies=sum(r.cow_copies for r in records),
+        fairness_jain=fairness,
         replicas=tuple(replica_stats),
         scale_events=tuple(scale_events),
     )

@@ -130,6 +130,11 @@ class Replica:
     def kv_utilization(self) -> float:
         return self.engine.allocator.utilization
 
+    def prefix_warmth(self, request: Request) -> int:
+        """Prompt tokens of ``request`` resident in this replica's prefix
+        pool (0 without one) — the affinity router's locality signal."""
+        return self.engine.prefix_warmth(request)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Replica(id={self.replica_id}, clock={self.clock:.2f}, "

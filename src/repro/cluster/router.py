@@ -108,6 +108,21 @@ class SessionAffinityRouter(Router):
 
     def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
         self._require(replicas)
+        # Prefix locality beats the session hash: a replica whose prefix
+        # pool actually holds the request's shared blocks serves it with
+        # prefill skipped, so warmth is *measured* (a pool probe), not
+        # guessed from the hash.  Ties and cold fleets fall back to the
+        # session home so first-touch traffic still builds locality.
+        if request.prefix_id is not None:
+            warm = max(
+                replicas,
+                key=lambda r: (r.prefix_warmth(request), -r.replica_id),
+            )
+            if (
+                warm.prefix_warmth(request) > 0
+                and warm.queue_depth <= self.spill_queue_depth
+            ):
+                return warm
         home = replicas[request.session_id % len(replicas)]
         if home.queue_depth > self.spill_queue_depth:
             return min(replicas, key=lambda r: (r.outstanding_tokens, r.replica_id))

@@ -417,4 +417,9 @@ class ClusterSimulator:
             rejected_records=list(self.rejected.values()),
             base_kv_bits=self.method.kv_bits,
             breaker_trips=sum(b.trips for b in self.breakers.values()),
+            shared_blocks=sum(
+                r.engine.prefix_pool.peak_resident_blocks
+                for r in self.replicas
+                if r.engine.prefix_pool is not None
+            ),
         )

@@ -18,6 +18,7 @@ from repro.harness import (
     guard,
     needle,
     overload,
+    prefix,
     serving_sim,
     fig1,
     fig4,
@@ -51,6 +52,7 @@ RUNNERS = {
     "cluster": cluster,
     "faults": faults,
     "overload": overload,
+    "prefix": prefix,
     "guard": guard,
     "needle": needle,
 }

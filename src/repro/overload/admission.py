@@ -25,6 +25,13 @@ blocks): above ``kv_defer_pressure`` new work is deferred (the queue
 alone will oversubscribe HBM), above ``kv_reject_pressure`` it is turned
 away outright.  Everything is driven by the simulated clock passed in,
 so runs stay byte-identical across reruns of the same seed.
+
+Multi-tenancy (:mod:`repro.prefix.tenancy`) adds two tenant-aware gates
+on top: a per-tenant token bucket (one tenant's surge defers *that
+tenant*, not the fleet) and weighted fair-share enforcement that kicks
+in only under KV pressure — a tenant holding more than ``slack`` times
+its weight-proportional share of admitted work is deferred first, so
+the gate is fair per tenant, not just safe globally.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.prefix.tenancy import TenantConfig, TenantLedger
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only; avoids an import
     # cycle (serving.engine imports this module).
@@ -76,8 +85,23 @@ class AdmissionConfig:
     kv_reject_pressure: float = 3.0
     defer_retry_s: float = 1.0
     max_defers: int = 4
+    #: Explicit per-tenant contracts (rate limits, priority, weight).
+    tenants: Tuple[TenantConfig, ...] = ()
+    #: Contract applied to tenants without an explicit entry; ``None``
+    #: leaves unknown tenants unlimited (weight 1, no bucket).
+    default_tenant: Optional[TenantConfig] = None
+    #: Weighted fair-share gate: above ``fair_share_pressure`` KV
+    #: pressure, a tenant whose admitted-work share exceeds
+    #: ``fair_share_slack`` times its weighted entitlement is deferred
+    #: (``fair_share``).  ``None`` slack disables the gate.
+    fair_share_slack: Optional[float] = 2.0
+    fair_share_pressure: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.fair_share_slack is not None and self.fair_share_slack < 1.0:
+            raise ValueError("fair_share_slack must be >= 1 (or None)")
+        if self.fair_share_pressure < 0:
+            raise ValueError("fair_share_pressure must be >= 0")
         if self.rate_tokens_per_s is not None and self.rate_tokens_per_s <= 0:
             raise ValueError("rate_tokens_per_s must be positive (or None)")
         if self.burst_tokens <= 0:
@@ -105,6 +129,11 @@ class AdmissionController:
         self.accepted = 0
         self.rejected = 0
         self.deferred = 0
+        #: Per-tenant buckets and fair-share ledger (always present; it
+        #: is inert when no tenant has a bucket and slack is None).
+        self.tenants = TenantLedger(
+            config.tenants, default=config.default_tenant
+        )
 
     def _refill(self, now: float) -> None:
         if self.config.rate_tokens_per_s is None:
@@ -131,6 +160,7 @@ class AdmissionController:
         """One admission decision.  Mutates the bucket only on ACCEPT and
         the record's ``defers`` counter only on DEFER."""
         cfg = self.config
+        tenant = record.request.tenant_id
         self._refill(now)
         verdict, reason = AdmissionVerdict.ACCEPT, "ok"
         if cfg.max_queue_depth is not None and queue_depth >= cfg.max_queue_depth:
@@ -139,16 +169,32 @@ class AdmissionController:
             verdict, reason = AdmissionVerdict.REJECT, "kv_pressure"
         elif kv_pressure >= cfg.kv_defer_pressure:
             verdict, reason = AdmissionVerdict.DEFER, "kv_pressure"
-        elif self.cost(record) > self.bucket:
+        elif not self.tenants.has_budget(tenant, self.cost(record), now):
+            verdict, reason = AdmissionVerdict.DEFER, "tenant_rate"
+        elif (
+            cfg.fair_share_slack is not None
+            and kv_pressure >= cfg.fair_share_pressure
+            and self.tenants.over_fair_share(tenant, cfg.fair_share_slack)
+        ):
+            verdict, reason = AdmissionVerdict.DEFER, "fair_share"
+        elif (
+            cfg.rate_tokens_per_s is not None
+            and self.cost(record) > self.bucket
+        ):
+            # A bucket with no refill rate is disabled, not a lifetime
+            # cap (the docstring's contract); only gate when it refills.
             verdict, reason = AdmissionVerdict.DEFER, "token_bucket"
 
         if verdict is AdmissionVerdict.DEFER and record.defers >= cfg.max_defers:
             verdict, reason = AdmissionVerdict.REJECT, "defer_budget"
         if verdict is AdmissionVerdict.ACCEPT:
-            self.bucket -= self.cost(record)
+            if cfg.rate_tokens_per_s is not None:
+                self.bucket -= self.cost(record)
+            self.tenants.spend(tenant, self.cost(record))
             self.accepted += 1
         elif verdict is AdmissionVerdict.DEFER:
             record.defers += 1
+            self.tenants.note_deferred(tenant)
             self.deferred += 1
         else:
             self.rejected += 1

@@ -27,8 +27,12 @@ A compressed cache shows up here twice: more concurrent requests fit
 from repro.serving.request import Request, RequestRecord, RequestStatus
 from repro.serving.allocator import PagedKVAllocator
 from repro.serving.engine import ServingEngine, EngineConfig
-from repro.serving.workload import poisson_workload, ramp_workload
-from repro.serving.metrics import SLO, ServingMetrics, summarize
+from repro.serving.workload import (
+    poisson_workload,
+    ramp_workload,
+    zipf_shared_workload,
+)
+from repro.serving.metrics import SLO, ServingMetrics, jain_index, summarize
 
 __all__ = [
     "Request",
@@ -39,7 +43,9 @@ __all__ = [
     "EngineConfig",
     "poisson_workload",
     "ramp_workload",
+    "zipf_shared_workload",
     "SLO",
     "ServingMetrics",
+    "jain_index",
     "summarize",
 ]

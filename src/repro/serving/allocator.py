@@ -62,6 +62,9 @@ class PagedKVAllocator:
         self.total_blocks = int(budget_bytes // (self.bytes_per_token * block_tokens))
         self.free_blocks = self.total_blocks
         self._allocs: Dict[int, _Allocation] = {}
+        #: Blocks owned by the shared prefix pool (repro.prefix) rather
+        #: than any single request; they count as used capacity.
+        self.shared_blocks = 0
 
     # -- queries -----------------------------------------------------------
     def blocks_for(self, tokens: int, bytes_scale: float = 1.0) -> int:
@@ -83,6 +86,17 @@ class PagedKVAllocator:
         have = current.blocks if current else 0
         scale = current.bytes_scale if current else 1.0
         return self.blocks_for(tokens, scale) - have <= self.free_blocks
+
+    def blocks_needed(
+        self, request_id: int, tokens: int, bytes_scale: float = 1.0
+    ) -> int:
+        """Additional free blocks a :meth:`grow` to ``tokens`` would take
+        (0 if the allocation already covers it).  Existing allocations
+        keep their stored scale, exactly as ``grow`` does."""
+        current = self._allocs.get(request_id)
+        have = current.blocks if current else 0
+        scale = current.bytes_scale if current else bytes_scale
+        return max(self.blocks_for(tokens, scale) - have, 0)
 
     @property
     def used_blocks(self) -> int:
@@ -126,3 +140,27 @@ class PagedKVAllocator:
         alloc = self._allocs.pop(request_id, None)
         if alloc is not None:
             self.free_blocks += alloc.blocks
+
+    # -- shared-pool slots (repro.prefix) -------------------------------------
+    def take_shared_block(self) -> bool:
+        """Move one free block into the shared prefix pool's ownership.
+
+        Shared blocks hold content-addressed prefix KV that multiple
+        requests reference; they are accounted at the method's full
+        width (a shared block's width is the max across its sharers, so
+        per-request ``bytes_scale`` discounts never apply to it).
+        """
+        if self.free_blocks < 1:
+            return False
+        self.free_blocks -= 1
+        self.shared_blocks += 1
+        return True
+
+    def release_shared_block(self, n: int = 1) -> None:
+        """Return ``n`` pool-owned blocks to the free list (eviction)."""
+        if n < 0 or n > self.shared_blocks:
+            raise ValueError(
+                f"cannot release {n} shared blocks; pool owns {self.shared_blocks}"
+            )
+        self.shared_blocks -= n
+        self.free_blocks += n

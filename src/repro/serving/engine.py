@@ -45,6 +45,7 @@ from repro.overload.admission import (
 )
 from repro.overload.brownout import BrownoutConfig, BrownoutController
 from repro.perf.attention_costs import MethodSpec
+from repro.prefix.pool import PrefixCacheConfig, PrefixPool
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
 from repro.perf.tp import replica_kv_budget, tp_step_latency
@@ -98,6 +99,11 @@ class EngineConfig:
     admission: Optional[AdmissionConfig] = None
     #: Precision-brownout controller for new admissions.
     brownout: Optional[BrownoutConfig] = None
+    #: Content-addressed prefix KV cache (see :mod:`repro.prefix`):
+    #: requests whose prompts share a prefix reference the same blocks,
+    #: skip the cached span's prefill, and copy-on-write on divergence.
+    #: ``None`` keeps every block private (the pre-prefix behaviour).
+    prefix: Optional[PrefixCacheConfig] = None
 
     def __post_init__(self) -> None:
         if self.deadline_shed and self.slo is None:
@@ -165,10 +171,38 @@ class ServingEngine:
         )
 
     def _bytes_scale(self, record: RequestRecord) -> float:
-        """Allocator scale for a record admitted below full precision."""
+        """Allocator scale for a record admitted below full precision.
+
+        Applies only to the record's *private* blocks — shared prefix
+        blocks are stored at the max width across their sharers and are
+        accounted by the pool at full method width.
+        """
         if record.kv_bits is None:
             return 1.0
         return record.kv_bits / self.method.kv_bits
+
+    def _grow(self, rid: int, tokens: int, bytes_scale: float = 1.0) -> bool:
+        """Allocator growth that may reclaim cold shared blocks first:
+        a private allocation never OOMs while the prefix pool holds
+        unreferenced warm cache it could give back."""
+        if self.prefix_pool is not None:
+            need = self.allocator.blocks_needed(rid, tokens, bytes_scale)
+            if need > self.allocator.free_blocks:
+                self.prefix_pool.evict_to_free(need)
+        return self.allocator.grow(rid, tokens, bytes_scale)
+
+    def _release_request(self, rid: int) -> None:
+        """Free everything a request holds: private blocks and prefix refs."""
+        self.allocator.release(rid)
+        if self.prefix_pool is not None:
+            self.prefix_pool.release(rid)
+
+    def prefix_warmth(self, request: Request) -> int:
+        """Prompt tokens of ``request`` already resident in this engine's
+        prefix pool (0 without a pool) — the router's locality score."""
+        if self.prefix_pool is None or request.prefix_id is None:
+            return 0
+        return self.prefix_pool.probe(RequestRecord(request=request))
 
     # -- open-loop driving API ------------------------------------------------
     def start(self) -> None:
@@ -198,6 +232,13 @@ class ServingEngine:
         )
         for rid in list(getattr(self.allocator, "_allocs", {})):
             self.allocator.release(rid)
+        if getattr(self.allocator, "shared_blocks", 0):
+            self.allocator.release_shared_block(self.allocator.shared_blocks)
+        self.prefix_pool: Optional[PrefixPool] = (
+            PrefixPool(self.allocator, self.config.prefix)
+            if self.config.prefix is not None
+            else None
+        )
 
     def submit(self, request: Request) -> AdmissionVerdict:
         """Offer one request (FCFS tail).  The caller owns arrival timing.
@@ -279,7 +320,7 @@ class ServingEngine:
             return None
         self.cancelled_wasted_prefill_tokens += record.prefilled
         self.cancelled_wasted_decode_tokens += record.generated
-        self.allocator.release(request_id)
+        self._release_request(request_id)
         if request_id in self.running:
             self.running.remove(request_id)
         if request_id in self.waiting:
@@ -295,7 +336,7 @@ class ServingEngine:
         """
         evicted: List[RequestRecord] = []
         for rid in list(self.running) + list(self.waiting):
-            self.allocator.release(rid)
+            self._release_request(rid)
             evicted.append(self.records.pop(rid))
         self.running.clear()
         self.waiting.clear()
@@ -336,13 +377,13 @@ class ServingEngine:
         Queued demand honours each record's admitted KV width."""
         if self.allocator.total_blocks == 0:
             return float("inf")
-        queued = sum(
-            self.allocator.blocks_for(
-                self.records[rid].request.prompt_len,
-                self._bytes_scale(self.records[rid]),
+        queued = 0
+        for rid in self.waiting:
+            rec = self.records[rid]
+            queued += self.allocator.blocks_for(
+                rec.request.prompt_len - self._probe_warmth(rec),
+                self._bytes_scale(rec),
             )
-            for rid in self.waiting
-        )
         return (self.allocator.used_blocks + queued) / self.allocator.total_blocks
 
     @property
@@ -359,10 +400,16 @@ class ServingEngine:
         """Current :class:`~repro.overload.brownout.BrownoutLevel` (or None)."""
         return self.brownout.level if self.brownout is not None else None
 
+    def _probe_warmth(self, rec: RequestRecord) -> int:
+        """Read-only prefix-cache warmth for a record (0 without a pool)."""
+        if self.prefix_pool is None or rec.request.prefix_id is None:
+            return 0
+        return self.prefix_pool.probe(rec)
+
     def _shed(self, rid: int, reason: str) -> None:
         """Terminal queue shed: keep the record, free everything else."""
         rec = self.records[rid]
-        self.allocator.release(rid)
+        self._release_request(rid)
         self.waiting.remove(rid)
         rec.mark_shed(self.clock, reason)
 
@@ -378,9 +425,16 @@ class ServingEngine:
             return False
         rec = self.records[rid]
         waited = self.clock - rec.request.arrival_time
+        # The lower bound honours prefix-cache warmth: cached prompt spans
+        # cost no prefill, so a warm request is harder to doom.
+        cold = rec.request.prompt_len - self._probe_warmth(rec)
         best_prefill = (
-            self._prefill_latency(rec.request.prompt_len, kv_bits=rec.kv_bits)
+            self._prefill_latency(
+                cold, kv_len=rec.request.prompt_len, kv_bits=rec.kv_bits
+            )
             * self.time_scale
+            if cold > 0
+            else 0.0
         )
         if waited + best_prefill <= self.config.slo.ttft_s:
             return False
@@ -417,26 +471,46 @@ class ServingEngine:
         self.iterations += 1
         records, waiting, running = self.records, self.waiting, self.running
 
+        # The warm prefix cache yields capacity back exactly when the
+        # admission gate starts pushing back on the same signal.
+        if self.prefix_pool is not None:
+            self.prefix_pool.evict_under_pressure()
+
         # Overload controllers read the pre-iteration saturation signals.
         if self.brownout is not None:
             self.brownout.observe(self.clock, self.queue_delay, self.kv_pressure)
         self._shed_high_water()
 
-        # Admission: reserve the full prompt, enter PREFILLING.  Requests
-        # that provably cannot meet their TTFT deadline are shed here,
-        # before any capacity is reserved for them.
+        # Admission: reference shared prefix blocks, reserve the private
+        # remainder, enter PREFILLING.  Requests that provably cannot
+        # meet their TTFT deadline are shed here, before any capacity is
+        # reserved for them.
         while waiting and len(running) < self.config.max_batch:
             rid = waiting[0]
             rec = records[rid]
             if self._shed_doomed(rid):
                 continue
-            if not self.allocator.grow(
-                rid, rec.request.prompt_len, self._bytes_scale(rec)
+            acq = None
+            if self.prefix_pool is not None and rec.request.prefix_id is not None:
+                acq = self.prefix_pool.acquire(rec, self.clock)
+            shared = acq.shared_tokens if acq is not None else 0
+            if not self._grow(
+                rid, rec.request.prompt_len - shared, self._bytes_scale(rec)
             ):
+                if acq is not None:
+                    self.prefix_pool.release(rid)
                 break
             waiting.popleft()
             rec.status = RequestStatus.PREFILLING
             rec.admitted_at = self.clock
+            if acq is not None:
+                rec.shared_tokens = acq.shared_tokens
+                rec.shared_tail_tokens = acq.tail_tokens
+                rec.prefilled = acq.hit_tokens
+                rec.prefix_hit_tokens += acq.hit_tokens
+                rec.prefix_lookup_tokens += rec.request.prompt_len
+                if rec.prefilled >= rec.request.prompt_len:
+                    rec.status = RequestStatus.RUNNING
             running.append(rid)
         self.peak_running = max(self.peak_running, len(running))
 
@@ -452,8 +526,13 @@ class ServingEngine:
         if chunk is None:
             for rid in prefilling:
                 rec = records[rid]
+                # Cache-hit prompt spans (rec.prefilled head start) cost
+                # no prefill compute; attention still spans the full
+                # prompt context for the tokens that do run.
                 step_time += self._prefill_latency(
-                    rec.request.prompt_len, kv_bits=rec.kv_bits
+                    rec.request.prompt_len - rec.prefilled,
+                    kv_len=rec.request.prompt_len,
+                    kv_bits=rec.kv_bits,
                 )
                 rec.prefilled = rec.request.prompt_len
                 rec.status = RequestStatus.RUNNING
@@ -500,29 +579,42 @@ class ServingEngine:
             rec.generated += 1
             if rec.first_token_at is None:
                 rec.first_token_at = self.clock
+            if rec.shared_tail_tokens and self.prefix_pool is not None:
+                # First decode write lands inside the shared tail block:
+                # copy-on-write — drop the shared reference and fold those
+                # tokens into the private allocation grown below.
+                self.prefix_pool.cow_tail(rid)
+                rec.shared_tokens -= rec.shared_tail_tokens
+                rec.shared_tail_tokens = 0
+                rec.cow_copies += 1
             if rec.done:
                 rec.status = RequestStatus.FINISHED
                 rec.finished_at = self.clock
-                self.allocator.release(rid)
+                self._release_request(rid)
                 finished.append(rid)
                 continue
-            if not self.allocator.grow(rid, rec.context_len + 1):
+            # Private growth covers only the non-shared context span.
+            if not self._grow(
+                rid, rec.context_len + 1 - rec.shared_tokens, self._bytes_scale(rec)
+            ):
                 # OOM: preempt the most recent admission that isn't this
                 # request; if none, preempt this one.
                 victim = next(
                     (v for v in reversed(running) if v != rid and v not in finished),
                     rid,
                 )
-                self.allocator.release(victim)
+                self._release_request(victim)
                 records[victim].reset_for_requeue()
                 running.remove(victim)
                 waiting.appendleft(victim)
                 if victim != rid:
                     # Retry the growth for the current request.
-                    if not self.allocator.grow(
-                        rid, rec.context_len + 1, self._bytes_scale(rec)
+                    if not self._grow(
+                        rid,
+                        rec.context_len + 1 - rec.shared_tokens,
+                        self._bytes_scale(rec),
                     ):
-                        self.allocator.release(rid)
+                        self._release_request(rid)
                         rec.reset_for_requeue()
                         running.remove(rid)
                         waiting.appendleft(rid)
@@ -539,6 +631,11 @@ class ServingEngine:
             base_kv_bits=self.method.kv_bits,
             extra_wasted_prefill=self.cancelled_wasted_prefill_tokens,
             extra_wasted_decode=self.cancelled_wasted_decode_tokens,
+            shared_blocks=(
+                self.prefix_pool.peak_resident_blocks
+                if self.prefix_pool is not None
+                else 0
+            ),
         )
 
     # -- closed-loop simulation ------------------------------------------------

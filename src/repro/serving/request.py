@@ -53,10 +53,27 @@ class Request:
     #: Scheduling priority under overload (higher = more important).
     #: High-water shedding victimizes the lowest priority first.
     priority: int = 0
+    #: Owning tenant for rate limits / fair share (0 = the default
+    #: anonymous tenant; see :mod:`repro.prefix.tenancy`).
+    tenant_id: int = 0
+    #: Content identity of the request's shared prompt prefix: requests
+    #: carrying the same ``prefix_id`` share the same underlying token
+    #: stream for their first ``shared_prefix_len`` tokens, so their KV
+    #: blocks are content-addressed sharable (:mod:`repro.prefix.pool`).
+    #: ``None`` = nothing sharable.
+    prefix_id: Optional[int] = None
+    #: Length of the shared prefix (0 means none; must not exceed
+    #: ``prompt_len``, and equality means the whole prompt is shared —
+    #: the tail block then diverges copy-on-write at the first decode).
+    shared_prefix_len: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.gen_len <= 0:
             raise ValueError("prompt_len and gen_len must be positive")
+        if self.shared_prefix_len < 0 or self.shared_prefix_len > self.prompt_len:
+            raise ValueError("shared_prefix_len must lie in [0, prompt_len]")
+        if self.shared_prefix_len > 0 and self.prefix_id is None:
+            raise ValueError("shared_prefix_len > 0 requires a prefix_id")
 
     @property
     def total_tokens(self) -> int:
@@ -93,6 +110,19 @@ class RequestRecord:
     #: DEFER verdicts received so far (bounded; the budget's exhaustion
     #: turns the next DEFER into a REJECT so every request terminates).
     defers: int = 0
+    #: Prompt tokens currently resident in *shared* prefix blocks (the
+    #: engine allocates only ``context_len - shared_tokens`` privately).
+    shared_tokens: int = 0
+    #: Tokens of a shared partial tail block this request still reads;
+    #: the first decode write triggers copy-on-write and zeroes this.
+    shared_tail_tokens: int = 0
+    #: Cumulative prompt tokens whose prefill was skipped via prefix-
+    #: cache hits, and the tokens offered to the cache (the hit ratio's
+    #: numerator/denominator) — monotone across preemptions/retries.
+    prefix_hit_tokens: int = 0
+    prefix_lookup_tokens: int = 0
+    #: Copy-on-write block copies performed on behalf of this request.
+    cow_copies: int = 0
     #: Time the request was rejected/shed (terminal overload outcomes).
     rejected_at: Optional[float] = None
     shed_at: Optional[float] = None
@@ -132,6 +162,8 @@ class RequestRecord:
         self.prefilled = 0
         self.admitted_at = None
         self.first_token_at = None
+        self.shared_tokens = 0
+        self.shared_tail_tokens = 0
         self.preemptions += 1
 
     def reset_for_retry(self) -> None:
@@ -144,6 +176,8 @@ class RequestRecord:
         self.prefilled = 0
         self.admitted_at = None
         self.first_token_at = None
+        self.shared_tokens = 0
+        self.shared_tail_tokens = 0
         self.retries += 1
 
     def mark_failed(self, now: float) -> None:

@@ -8,7 +8,19 @@ import numpy as np
 
 from repro.serving.request import Request
 
-__all__ = ["poisson_workload", "closed_batch_workload", "ramp_workload"]
+__all__ = [
+    "poisson_workload",
+    "closed_batch_workload",
+    "ramp_workload",
+    "zipf_shared_workload",
+]
+
+
+def _zipf_probs(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf(s) pmf over ranks ``1..n`` (finite support)."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    p = ranks ** -s
+    return p / p.sum()
 
 
 def poisson_workload(
@@ -99,6 +111,89 @@ def ramp_workload(
         )
         for i in range(n)
     ]
+
+
+def zipf_shared_workload(
+    n_requests: int,
+    arrival_rate: float,
+    n_tenants: int = 1000,
+    zipf_s: float = 1.4,
+    prompts_per_tenant: int = 4,
+    prefix_len_range: Tuple[int, int] = (256, 1024),
+    suffix_len_range: Tuple[int, int] = (0, 256),
+    gen_range: Tuple[int, int] = (64, 256),
+    rng: Optional[np.random.Generator] = None,
+) -> List[Request]:
+    """Multi-tenant Poisson arrivals with Zipf-shared prompt prefixes.
+
+    The fleet-scale sharing shape: tenants are drawn from a finite
+    Zipf(``zipf_s``) popularity distribution (a few tenants dominate,
+    the tail is long), and each tenant owns ``prompts_per_tenant``
+    distinct system prompts, themselves Zipf-ranked within the tenant.
+    A request's prompt is one such shared prefix — whose length is a
+    fixed, per-prefix property drawn once from ``prefix_len_range``
+    (content identity: the same prefix always has the same tokens) —
+    followed by a private suffix from ``suffix_len_range``.  A zero
+    suffix models an exact replay (identical prompt), which is what
+    exercises shared-tail copy-on-write at the first decode token.
+
+    Raising ``zipf_s`` concentrates traffic on fewer prefixes, so the
+    achievable prefix-cache hit ratio rises monotonically with it — a
+    property the workload tests pin.  Tenant ids double as session ids
+    for affinity routing.  The whole stream is a deterministic function
+    of ``rng``'s seed.
+    """
+    if n_requests <= 0:
+        raise ValueError("n_requests must be positive")
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if n_tenants <= 0 or prompts_per_tenant <= 0:
+        raise ValueError("n_tenants and prompts_per_tenant must be positive")
+    if zipf_s <= 0:
+        raise ValueError("zipf_s must be positive")
+    if prefix_len_range[0] < 1:
+        raise ValueError("prefix lengths must be >= 1")
+    if suffix_len_range[0] < 0:
+        raise ValueError("suffix lengths must be >= 0")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, size=n_requests))
+    tenants = rng.choice(
+        n_tenants, size=n_requests, p=_zipf_probs(n_tenants, zipf_s)
+    )
+    prompts = rng.choice(
+        prompts_per_tenant,
+        size=n_requests,
+        p=_zipf_probs(prompts_per_tenant, zipf_s),
+    )
+    # Per-prefix content properties are drawn once, up front, so a
+    # prefix's length never depends on when it is first requested.
+    prefix_lens = rng.integers(
+        prefix_len_range[0],
+        prefix_len_range[1] + 1,
+        size=n_tenants * prompts_per_tenant,
+    )
+    suffixes = rng.integers(
+        suffix_len_range[0], suffix_len_range[1] + 1, size=n_requests
+    )
+    gens = rng.integers(gen_range[0], gen_range[1] + 1, size=n_requests)
+    requests: List[Request] = []
+    for i in range(n_requests):
+        tenant = int(tenants[i])
+        prefix_id = tenant * prompts_per_tenant + int(prompts[i])
+        shared = int(prefix_lens[prefix_id])
+        requests.append(
+            Request(
+                request_id=i,
+                arrival_time=float(arrivals[i]),
+                prompt_len=shared + int(suffixes[i]),
+                gen_len=int(gens[i]),
+                session_id=tenant,
+                tenant_id=tenant,
+                prefix_id=prefix_id,
+                shared_prefix_len=shared,
+            )
+        )
+    return requests
 
 
 def closed_batch_workload(

@@ -53,6 +53,14 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "POLY" in out
 
+    def test_prefix(self, capsys):
+        assert main(["prefix", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hits dominate" in out
+        assert "sharing wins TTFT at equal KV budget" in out
+        assert "block conservation" in out
+        assert "VIOLATED" not in out
+
     def test_guard(self, capsys):
         assert main(["guard", "--quick"]) == 0
         out = capsys.readouterr().out

@@ -22,7 +22,15 @@ from repro.cluster import (
 )
 from repro.perf.attention_costs import METHODS
 from repro.perf.e2e import ModelGeometry
-from repro.serving import poisson_workload
+from repro.overload import AdmissionConfig
+from repro.prefix import PrefixCacheConfig, TenantConfig
+from repro.serving import (
+    EngineConfig,
+    ServingEngine,
+    poisson_workload,
+    zipf_shared_workload,
+)
+from repro.serving.metrics import SLO
 
 FAULTS = FaultConfig(
     seed=11, crash_rate=0.06, stall_rate=0.06,
@@ -86,6 +94,60 @@ class TestByteIdentical:
         assert [(e.time, e.action) for e in a.scale_events] == [
             (e.time, e.action) for e in b.scale_events
         ]
+
+
+class TestPrefixReplay:
+    """Prefix sharing, tenancy, and COW add pool state to every step —
+    none of it may introduce nondeterminism."""
+
+    ENGINE = EngineConfig(
+        slo=SLO(),
+        prefix=PrefixCacheConfig(),
+        admission=AdmissionConfig(
+            max_queue_depth=None,
+            default_tenant=TenantConfig(
+                tenant_id=0, rate_tokens_per_s=2_000.0, burst_tokens=20_000.0
+            ),
+        ),
+    )
+
+    def _zipf(self, seed=21, n=80):
+        return zipf_shared_workload(
+            n, arrival_rate=10.0, n_tenants=40, zipf_s=1.6,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_engine_replay_is_byte_identical(self, model):
+        runs = []
+        for _ in range(2):
+            engine = ServingEngine(model, METHODS["turbo4"], self.ENGINE)
+            runs.append(engine.run(self._zipf()))
+        a, b = runs
+        assert a == b
+        assert repr(a).encode() == repr(b).encode()
+        assert a.as_dict() == b.as_dict()
+        assert a.tenant_attainment == b.tenant_attainment
+
+    def test_cluster_replay_with_prefix_and_faults(self, model):
+        cfg = ClusterConfig(
+            n_replicas=2, policy="affinity",
+            engine=self.ENGINE, faults=FAULTS,
+        )
+
+        def once():
+            sim = ClusterSimulator(model, METHODS["turbo4"], cfg)
+            metrics = sim.run(self._zipf(n=60))
+            pools = tuple(
+                tuple(sorted(r.engine.prefix_pool._blocks))
+                for r in sim.replicas
+            )
+            return metrics, pools
+
+        (a, pools_a), (b, pools_b) = once(), once()
+        assert a == b
+        assert a.as_dict() == b.as_dict()
+        # Even the resident cache contents (hash keys per replica) match.
+        assert pools_a == pools_b
 
 
 class TestSeedsMatter:

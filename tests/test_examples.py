@@ -68,6 +68,14 @@ class TestExamples:
         assert "Retry budget sweep" in out
         assert "identical fault schedule" in out
 
+    def test_multi_tenant_serving_small(self, capsys):
+        _run("multi_tenant_serving.py", ["--requests", "120", "--tenants", "60"])
+        out = capsys.readouterr().out
+        assert "Content-addressed sharing" in out
+        assert "sharing wins TTFT" in out
+        assert "pool audit after run" in out and "clean" in out
+        assert "Jain fairness" in out
+
     def test_headwise_tuning(self, capsys):
         _run("headwise_tuning.py")
         out = capsys.readouterr().out

@@ -15,7 +15,8 @@ class TestRegistry:
 
     def test_extensions_registered(self):
         assert {
-            "ablations", "serving", "cluster", "faults", "guard", "needle"
+            "ablations", "serving", "cluster", "faults", "overload",
+            "prefix", "guard", "needle",
         } <= set(RUNNERS)
 
     def test_runners_expose_interface(self):

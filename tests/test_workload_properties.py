@@ -14,6 +14,7 @@ from repro.serving.workload import (
     closed_batch_workload,
     poisson_workload,
     ramp_workload,
+    zipf_shared_workload,
 )
 
 
@@ -132,6 +133,86 @@ class TestRampWorkload:
         with pytest.raises(ValueError):
             # Vanishing duration at tiny rate: no arrivals possible.
             ramp_workload([(1e-9, 1e-6)])
+
+
+class TestZipfSharedWorkload:
+    def _make(self, seed=0, n=400, **kw):
+        kw.setdefault("n_tenants", 50)
+        kw.setdefault("prompts_per_tenant", 4)
+        return zipf_shared_workload(
+            n, 10.0, rng=np.random.default_rng(seed), **kw
+        )
+
+    def test_seeded_determinism(self):
+        for seed in (0, 3, 99):
+            assert self._make(seed=seed) == self._make(seed=seed)
+        assert self._make(seed=0) != self._make(seed=1)
+
+    def test_arrivals_strictly_increasing(self):
+        arrivals = [r.arrival_time for r in self._make(seed=2)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_prefix_identity_is_consistent(self):
+        """The same prefix_id always means the same content: identical
+        shared_prefix_len everywhere, bounded by prompt_len, and tenant
+        doubles as the affinity session."""
+        reqs = self._make(seed=4, n=600)
+        seen = {}
+        for r in reqs:
+            assert r.prefix_id is not None
+            assert 1 <= r.shared_prefix_len <= r.prompt_len
+            assert r.session_id == r.tenant_id
+            assert r.prefix_id // 4 == r.tenant_id
+            assert seen.setdefault(r.prefix_id, r.shared_prefix_len) == (
+                r.shared_prefix_len
+            )
+
+    def test_zipf_head_dominates_tail(self):
+        """Rank-1 tenant frequency tracks the Zipf pmf head and beats
+        every lower rank (5-sigma binomial bound, seed fixed)."""
+        n, n_tenants, s = 4000, 50, 1.4
+        reqs = self._make(seed=42, n=n, n_tenants=n_tenants, zipf_s=s)
+        counts = np.bincount([r.tenant_id for r in reqs], minlength=n_tenants)
+        ranks = np.arange(1, n_tenants + 1, dtype=float)
+        p = ranks ** -s
+        p /= p.sum()
+        sigma = np.sqrt(n * p[0] * (1 - p[0]))
+        assert abs(counts[0] - n * p[0]) < 5 * sigma
+        assert counts[0] == counts.max()
+        assert counts[0] > 3 * counts[n_tenants // 2]
+
+    def test_hit_potential_monotone_in_skew(self):
+        """Higher zipf_s concentrates traffic on fewer prefixes, so the
+        warm-request fraction (requests whose prefix appeared before)
+        rises with skew — the knob the harness turns."""
+        def warm_fraction(s):
+            reqs = self._make(seed=7, n=800, n_tenants=200, zipf_s=s)
+            seen, warm = set(), 0
+            for r in reqs:
+                warm += r.prefix_id in seen
+                seen.add(r.prefix_id)
+            return warm / len(reqs)
+
+        fractions = [warm_fraction(s) for s in (0.8, 1.4, 2.0)]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_zero_suffix_models_exact_replay(self):
+        reqs = self._make(seed=5, suffix_len_range=(0, 0))
+        assert all(r.prompt_len == r.shared_prefix_len for r in reqs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_shared_workload(0, 10.0)
+        with pytest.raises(ValueError):
+            zipf_shared_workload(10, 0.0)
+        with pytest.raises(ValueError):
+            zipf_shared_workload(10, 1.0, n_tenants=0)
+        with pytest.raises(ValueError):
+            zipf_shared_workload(10, 1.0, zipf_s=0.0)
+        with pytest.raises(ValueError):
+            zipf_shared_workload(10, 1.0, prefix_len_range=(0, 10))
+        with pytest.raises(ValueError):
+            zipf_shared_workload(10, 1.0, suffix_len_range=(-1, 10))
 
 
 class TestClosedBatchWorkload:
