@@ -6,6 +6,8 @@
     python -m repro serve   --rate 6 --requests 60 --method turbo_mixed
     python -m repro cluster --replicas 4 --policy least_kv --method turbo_mixed
     python -m repro cluster --faults --crash-rate 0.05 --timeout 30 --autoscale
+    python -m repro cluster --faults --policy least_kv --trace run.jsonl
+    python -m repro trace-diff run_a.jsonl run_b.jsonl
     python -m repro guard   --quick
     python -m repro overload --quick
     python -m repro prefix  --quick
@@ -38,6 +40,8 @@ from repro.perf.attention_costs import METHODS, attention_latency
 from repro.perf.e2e import ModelGeometry
 from repro.perf.memory import paper_memory_model
 from repro.serving import ServingEngine, poisson_workload
+from repro.sim import JsonlTraceSink, trace_file_digest
+from repro.sim.replay import trace_diff_main
 from repro.tasks import TASK_PRESETS, task_for_model
 from repro.tasks.recall import evaluate_backend
 
@@ -102,9 +106,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.requests, arrival_rate=args.rate, rng=np.random.default_rng(args.seed)
     )
     methods = [args.method] if args.method != "all" else list(METHODS)
+    if args.trace and len(methods) > 1:
+        print("--trace records one run: pick a single --method", file=sys.stderr)
+        return 2
     rows = []
     for name in methods:
-        m = ServingEngine(model, METHODS[name]).run(workload)
+        sink = JsonlTraceSink(args.trace) if args.trace else None
+        m = ServingEngine(model, METHODS[name], trace=sink).run(workload)
+        if sink is not None:
+            sink.close()
         rows.append([
             name, m.completed, f"{m.throughput_tokens_per_s:.0f}",
             f"{m.mean_ttft:.2f}", f"{m.p95_ttft:.2f}", m.preemptions,
@@ -113,6 +123,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ["method", "done", "tok/s", "mean TTFT", "p95 TTFT", "preempt"], rows,
         title=f"Serving {args.requests} requests @ {args.rate}/s",
     ))
+    if args.trace:
+        print(f"trace: {args.trace} (digest {trace_file_digest(args.trace)})")
     return 0
 
 
@@ -142,6 +154,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
         )
     policies = list(ROUTER_POLICIES) if args.policy == "all" else [args.policy]
+    if args.trace and len(policies) > 1:
+        print("--trace records one run: pick a single --policy", file=sys.stderr)
+        return 2
     rows = []
     for policy in policies:
         config = ClusterConfig(
@@ -152,7 +167,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             autoscaler=autoscaler,
             faults=faults,
         )
-        m = ClusterSimulator(model, METHODS[args.method], config).run(workload)
+        sink = JsonlTraceSink(args.trace) if args.trace else None
+        m = ClusterSimulator(
+            model, METHODS[args.method], config, trace=sink
+        ).run(workload)
+        if sink is not None:
+            sink.close()
         row = [
             policy,
             m.completed,
@@ -189,7 +209,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             f"stall={faults.stall_rate}/s)"
         )
     print(render_table(headers, rows, title=title))
+    if args.trace:
+        print(f"trace: {args.trace} (digest {trace_file_digest(args.trace)})")
     return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    return trace_diff_main(args.a, args.b, context=args.context)
 
 
 def _cmd_guard(args: argparse.Namespace) -> int:
@@ -252,6 +278,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--requests", type=int, default=60)
     p_serve.add_argument("--method", default="all", choices=["all", *sorted(METHODS)])
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a JSONL event trace of the run "
+                              "(.gz compresses; requires a single method)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_cluster = sub.add_parser(
@@ -289,7 +318,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-dispatch TTFT deadline (s)")
     p_cluster.add_argument("--max-retries", type=int, default=3,
                            help="re-dispatch budget before a request FAILs")
+    p_cluster.add_argument("--trace", default=None, metavar="PATH",
+                           help="write a JSONL event trace of the run "
+                                "(.gz compresses; requires a single policy)")
     p_cluster.set_defaults(fn=_cmd_cluster)
+
+    p_td = sub.add_parser(
+        "trace-diff",
+        help="compare two JSONL event traces; exit 0 iff byte-identical, "
+             "else print the first divergent event with context",
+    )
+    p_td.add_argument("a", help="first trace (.jsonl or .jsonl.gz)")
+    p_td.add_argument("b", help="second trace")
+    p_td.add_argument("--context", type=int, default=3,
+                      help="shared records to print before the divergence")
+    p_td.set_defaults(fn=_cmd_trace_diff)
 
     p_g = sub.add_parser(
         "guard",

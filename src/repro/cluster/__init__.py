@@ -15,7 +15,8 @@ goodput an SLO-bound deployment extracts from the same GPUs.
   (and replacement of crashed capacity below the fleet floor).
 * :mod:`repro.cluster.faults` — seeded crash/stall/timeout injection with
   retry-with-backoff recovery and graceful degradation.
-* :mod:`repro.cluster.simulator` — the discrete-event fleet loop, with
+* :mod:`repro.cluster.simulator` — the discrete-event fleet loop (on the
+  shared :mod:`repro.sim` kernel, with per-event trace output), with
   cluster-level admission control and per-replica circuit breakers from
   :mod:`repro.overload` when configured.
 * :mod:`repro.cluster.metrics` — SLOs, goodput, tail attainment, and

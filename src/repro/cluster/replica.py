@@ -9,13 +9,14 @@ and the drain state the autoscaler manages.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.perf.attention_costs import MethodSpec
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.request import Request, RequestRecord
+from repro.sim.trace import TraceSink
 
 __all__ = ["Replica"]
 
@@ -30,9 +31,16 @@ class Replica:
         method: MethodSpec,
         config: EngineConfig = EngineConfig(),
         gpu: GPUSpec = A100_80GB,
+        trace: Optional[TraceSink] = None,
     ):
         self.replica_id = replica_id
-        self.engine = ServingEngine(model, method, config, gpu)
+        # The engine's lifecycle marks land in the cluster-wide trace
+        # under this replica's clock name, so one trace file interleaves
+        # the fleet timeline with every replica's per-request events.
+        self.engine = ServingEngine(
+            model, method, config, gpu,
+            trace=trace, trace_clock=f"replica{replica_id}",
+        )
         #: Draining replicas accept no new dispatches; the autoscaler
         #: retires them once their admitted/queued work completes.
         self.draining = False

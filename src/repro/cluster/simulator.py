@@ -1,9 +1,12 @@
 """Multi-replica cluster serving simulator.
 
 Composes N tensor-parallel :class:`~repro.cluster.replica.Replica` engines
-behind one router.  Time runs as a discrete-event loop over a merged
+behind one router.  Time runs as a discrete-event loop — the fleet's
 timeline of request arrivals, fault-injection events, recovery events,
-and retry re-dispatches:
+and retry re-dispatches lives on one :class:`repro.sim.EventScheduler`
+(the same kernel the engine's closed loop drives), which owns
+same-instant ordering, cancellation, monotonic time, and optional
+per-event trace output:
 
 1. **Synchronise** — before handling the event at time ``t``, every busy
    replica steps forward until its local clock reaches ``t`` (engine
@@ -36,11 +39,17 @@ run inside each replica when configured on the engine.  Every submitted
 request still terminates exactly once —
 ``completed + failed + rejected + shed == total`` — which the test
 suite asserts from the returned data, byte-identical across reruns.
+
+Determinism is verified at the event level: pass a
+:class:`repro.sim.TraceSink` and every kernel operation plus every
+replica's request-lifecycle marks stream into one diffable trace whose
+blake2b digest must reproduce seed-for-seed
+(``python -m repro cluster --faults --trace run.jsonl``, then
+``python -m repro trace-diff`` between reruns).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -67,20 +76,29 @@ from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
 from repro.serving.engine import EngineConfig
 from repro.serving.request import Request, RequestRecord
+from repro.sim.kernel import Event, EventScheduler
+from repro.sim.trace import TraceSink
 
-__all__ = ["ClusterConfig", "ClusterSimulator"]
+__all__ = ["CLUSTER_EVENT_ORDER", "ClusterConfig", "ClusterSimulator"]
 
+# The cluster's closed event taxonomy (see :mod:`repro.sim.kernel`).
 # Same-instant events resolve in a fixed order so runs are reproducible:
 # replicas recover and stalls clear before new work is placed, faults
 # strike before dispatches (a request arriving "as" a replica dies never
 # lands on the corpse), and timeout checks run after everything else.
-_EVENT_ORDER = {
+# The kernel enforces the map's closure — a new event kind without an
+# order class here raises instead of silently sorting by name.
+CLUSTER_EVENT_ORDER = {
     "recover": 0,
     "stall_end": 1,
     "fault": 2,
     "arrival": 3,
     "redispatch": 3,
     "timeout": 4,
+    # lifecycle marks (not scheduled; registered to pin the taxonomy)
+    "scale_up": 10,
+    "scale_down": 11,
+    "breaker_trip": 12,
 }
 
 
@@ -123,11 +141,20 @@ class ClusterSimulator:
         method: MethodSpec,
         config: ClusterConfig = ClusterConfig(),
         gpu: GPUSpec = A100_80GB,
+        trace: Optional[TraceSink] = None,
     ):
         self.model = model
         self.method = method
         self.config = config
         self.gpu = gpu
+        #: Optional structured trace: the cluster's kernel and every
+        #: replica's engine write interleaved records to this one sink.
+        self.trace = trace
+        #: The fleet's event kernel — the one timeline of arrivals,
+        #: re-dispatches, faults, recoveries, and timeout deadlines.
+        self.kernel = EventScheduler(
+            CLUSTER_EVENT_ORDER, clock="cluster", trace=trace
+        )
         self._engine_config = replace(config.engine, tp=config.tp)
         self.replicas: List[Replica] = [
             self._new_replica(i) for i in range(config.n_replicas)
@@ -149,14 +176,16 @@ class ClusterSimulator:
         self.breakers: Dict[int, CircuitBreaker] = {}
         self.peak_replicas = config.n_replicas
         self._steps = 0
-        self._heap: List[Tuple[float, int, int, str, object]] = []
-        self._seq = 0
         self._location: Dict[int, Replica] = {}
+        #: Live timeout-deadline events by request id, cancelled when the
+        #: request leaves the replica the deadline was armed against.
+        self._timeout_events: Dict[int, Event] = {}
 
     # -- fleet management ---------------------------------------------------
     def _new_replica(self, replica_id: int) -> Replica:
         return Replica(
-            replica_id, self.model, self.method, self._engine_config, self.gpu
+            replica_id, self.model, self.method, self._engine_config, self.gpu,
+            trace=self.trace,
         )
 
     @property
@@ -192,17 +221,26 @@ class ClusterSimulator:
             self.scale_events.append(
                 ScaleEvent(time=now, action="up", n_active=len(self.active_replicas))
             )
+            self.kernel.mark(
+                "scale_up", f"n={len(self.active_replicas)}", time=now
+            )
         elif decision == "down":
             victim = Autoscaler.pick_victim(active)
             victim.draining = True
             self.scale_events.append(
                 ScaleEvent(time=now, action="down", n_active=len(self.active_replicas))
             )
+            self.kernel.mark(
+                "scale_down",
+                f"replica{victim.replica_id}:n={len(self.active_replicas)}",
+                time=now,
+            )
 
     # -- event plumbing ------------------------------------------------------
-    def _push(self, time: float, kind: str, payload: object) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, _EVENT_ORDER[kind], self._seq, kind, payload))
+    def _push(
+        self, time: float, kind: str, payload: object, label: str = ""
+    ) -> Event:
+        return self.kernel.schedule(time, kind, payload, label=label)
 
     # -- overload protection -------------------------------------------------
     def _breaker_for(self, replica: Replica) -> Optional[CircuitBreaker]:
@@ -226,7 +264,7 @@ class ClusterSimulator:
 
     def _cluster_admit(self, record: RequestRecord, now: float) -> bool:
         """Cluster-level admission for a first dispatch.  Returns whether
-        dispatch should proceed now (DEFER re-enters the event heap)."""
+        dispatch should proceed now (DEFER re-enters the event kernel)."""
         if self.admission is None or record.retries > 0:
             return True
         targets = self.active_replicas
@@ -242,7 +280,8 @@ class ClusterSimulator:
             return False
         if verdict is AdmissionVerdict.DEFER:
             self._push(
-                now + self.config.admission.defer_retry_s, "redispatch", record
+                now + self.config.admission.defer_retry_s, "redispatch", record,
+                label=f"r{record.request.request_id}:defer",
             )
             return False
         return True
@@ -258,7 +297,10 @@ class ClusterSimulator:
             if not downed:
                 raise RuntimeError("no replica can ever accept work (all draining)")
             wake = max(min(r.down_until for r in downed), now)
-            self._push(wake, "redispatch", record)
+            self._push(
+                wake, "redispatch", record,
+                label=f"r{record.request.request_id}:fleet_down",
+            )
             return
         if self.config.breaker is not None:
             # Breakers are advisory at the fleet edge: prefer replicas
@@ -282,7 +324,8 @@ class ClusterSimulator:
             return
         if verdict is AdmissionVerdict.DEFER:
             self._push(
-                now + target.engine.defer_retry_s, "redispatch", record
+                now + target.engine.defer_retry_s, "redispatch", record,
+                label=f"r{rid}:engine_defer",
             )
             return
         self._location[rid] = target
@@ -290,23 +333,34 @@ class ClusterSimulator:
         if faults is not None and faults.request_timeout_s is not None:
             # The deadline is armed per dispatch; record.retries is the
             # dispatch epoch, so deadlines from superseded dispatches are
-            # recognised as stale when they fire.
-            self._push(
+            # recognised as stale when they fire.  The handle is kept so
+            # a fault eviction cancels the now-moot deadline outright.
+            self._timeout_events[rid] = self._push(
                 now + faults.request_timeout_s,
                 "timeout",
                 (record, record.retries),
+                label=f"r{rid}@{record.retries}",
             )
 
     def _retry_or_fail(self, record: RequestRecord, now: float) -> None:
         faults = self.config.faults
         record.reset_for_retry()
-        self._location.pop(record.request.request_id, None)
+        rid = record.request.request_id
+        self._location.pop(rid, None)
+        # The deadline armed for the dispatch this request just lost can
+        # never matter again — cancel it instead of letting it fire stale.
+        deadline = self._timeout_events.pop(rid, None)
+        if deadline is not None:
+            self.kernel.cancel(deadline)
         if record.retries > faults.max_retries:
             record.mark_failed(now)
-            self.failed[record.request.request_id] = record
+            self.failed[rid] = record
             return
         self.fault_counters.redispatches += 1
-        self._push(now + faults.backoff(record.retries), "redispatch", record)
+        self._push(
+            now + faults.backoff(record.retries), "redispatch", record,
+            label=f"r{rid}:retry{record.retries}",
+        )
 
     def _apply_fault(self, event: FaultEvent, now: float) -> None:
         candidates = [r for r in self.replicas if not r.crashed]
@@ -317,13 +371,19 @@ class ClusterSimulator:
             self.fault_counters.crashes += 1
             self.fault_counters.downtime_s += event.duration_s
             evicted = victim.crash(down_until=now + event.duration_s)
-            self._push(now + event.duration_s, "recover", victim)
+            self._push(
+                now + event.duration_s, "recover", victim,
+                label=f"replica{victim.replica_id}",
+            )
             for record in evicted:
                 self._retry_or_fail(record, now)
         elif event.kind == "stall":
             self.fault_counters.stalls += 1
             victim.stall(event.slowdown)
-            self._push(now + event.duration_s, "stall_end", victim)
+            self._push(
+                now + event.duration_s, "stall_end", victim,
+                label=f"replica{victim.replica_id}",
+            )
         else:  # pragma: no cover - schedule generation only emits the above
             raise ValueError(f"unknown fault kind {event.kind!r}")
 
@@ -347,7 +407,12 @@ class ClusterSimulator:
             return
         breaker = self._breaker_for(replica)
         if breaker is not None:
+            trips_before = breaker.trips
             breaker.record_failure(now)
+            if breaker.trips > trips_before:
+                self.kernel.mark(
+                    "breaker_trip", f"replica{replica.replica_id}", time=now
+                )
         self.fault_counters.timeouts += 1
         self._retry_or_fail(record, now)
 
@@ -355,14 +420,20 @@ class ClusterSimulator:
     def run(self, requests: Sequence[Request]) -> ClusterMetrics:
         arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         for request in arrivals:
-            self._push(request.arrival_time, "arrival", request)
+            self._push(
+                request.arrival_time, "arrival", request,
+                label=f"r{request.request_id}",
+            )
         if self.config.faults is not None and arrivals:
             horizon = arrivals[-1].arrival_time + self.config.faults.horizon_pad_s
             for event in FaultInjector(self.config.faults).schedule(horizon):
-                self._push(event.time, "fault", event)
+                self._push(
+                    event.time, "fault", event,
+                    label=f"{event.kind}#{event.salt}",
+                )
 
-        while self._heap:
-            t, _, _, kind, payload = heapq.heappop(self._heap)
+        while (fired := self.kernel.pop()) is not None:
+            t, kind, payload = fired.time, fired.kind, fired.payload
             self._advance_fleet_to(t)
             self._autoscale(t)
             if kind == "arrival":

@@ -13,9 +13,11 @@ and per-request latency (TTFT, TPOT) matters alongside throughput.
 * :mod:`repro.serving.engine` — the discrete-event engine: admission,
   chunk-free prefill, batched decode, OOM-driven preemption; step
   latencies come from the :mod:`repro.perf` cost model (tensor-parallel
-  replicas via :mod:`repro.perf.tp`).  Besides the closed-loop ``run``,
-  it exposes an open-loop ``start``/``submit``/``step`` API that the
-  cluster simulator (:mod:`repro.cluster`) drives.
+  replicas via :mod:`repro.perf.tp`).  Besides the closed-loop ``run``
+  (whose offer timeline drives the shared :mod:`repro.sim` event
+  kernel), it exposes an open-loop ``start``/``submit``/``step`` API
+  that the cluster simulator (:mod:`repro.cluster`) drives; either mode
+  can stream a structured event trace for replay/diffing.
 * :mod:`repro.serving.workload` — Poisson arrival workload generators.
 * :mod:`repro.serving.metrics` — summary statistics.
 

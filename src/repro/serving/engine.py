@@ -25,19 +25,29 @@ The engine exposes two driving modes:
 
 * :meth:`run` — closed-loop: hand it a whole workload; it drains arrivals
   against its own clock until every request finishes (the seed behaviour).
+  The arrival/defer offer timeline lives on a
+  :class:`repro.sim.EventScheduler` — the same kernel the cluster
+  simulator drives — so ordering, monotonic time, and per-event tracing
+  are kernel properties, not engine code.
 * :meth:`start` / :meth:`submit` / :meth:`step` — open-loop: an external
   driver (the cluster simulator, :mod:`repro.cluster`) owns arrival
   dispatch and advances the engine one iteration at a time.
+
+In both modes, attaching a :class:`repro.sim.TraceSink` records every
+request-lifecycle transition (submit/admit/first-token/finish, plus
+sheds, preemptions, cancels, evictions) as typed trace marks, making any
+run replayable and diffable (``python -m repro trace-diff``).
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from dataclasses import dataclass
 
+from repro.sim.kernel import EventScheduler
+from repro.sim.trace import TraceSink
 from repro.overload.admission import (
     AdmissionConfig,
     AdmissionController,
@@ -58,7 +68,28 @@ from repro.serving.request import (
     TERMINAL_STATUSES,
 )
 
-__all__ = ["EngineConfig", "ServingEngine"]
+__all__ = ["ENGINE_EVENT_ORDER", "EngineConfig", "ServingEngine"]
+
+#: The engine's closed event taxonomy (see :mod:`repro.sim.kernel`).
+#: ``offer`` is the only *scheduled* kind — request arrivals and
+#: admission-DEFER re-offers on the closed-loop clock.  The rest are
+#: lifecycle marks emitted as requests move through the engine; they are
+#: registered here because the kernel refuses unregistered kinds — the
+#: taxonomy, like same-instant ordering, is pinned in one place.
+ENGINE_EVENT_ORDER = {
+    "offer": 0,
+    # lifecycle marks (not scheduled; order classes document the taxonomy)
+    "submit": 10,
+    "reject": 11,
+    "defer": 12,
+    "admit": 13,
+    "shed": 14,
+    "first_token": 15,
+    "preempt": 16,
+    "finish": 17,
+    "cancel": 18,
+    "evict": 19,
+}
 
 
 @dataclass(frozen=True)
@@ -121,6 +152,8 @@ class ServingEngine:
         method: MethodSpec,
         config: EngineConfig = EngineConfig(),
         gpu: GPUSpec = A100_80GB,
+        trace: Optional[TraceSink] = None,
+        trace_clock: str = "engine",
     ):
         if config.tp < 1:
             raise ValueError("tp must be >= 1")
@@ -128,6 +161,11 @@ class ServingEngine:
         self.method = method
         self.config = config
         self.gpu = gpu
+        #: Optional structured trace: the engine's scheduler emits every
+        #: offer schedule/fire plus request-lifecycle marks to this sink
+        #: (shared with the cluster's scheduler when fleet-driven).
+        self.trace = trace
+        self.trace_clock = trace_clock
         budget = config.kv_budget_bytes
         if budget is None:
             budget = replica_kv_budget(
@@ -207,6 +245,12 @@ class ServingEngine:
     # -- open-loop driving API ------------------------------------------------
     def start(self) -> None:
         """Reset all per-run state (records, queues, clock, controllers)."""
+        #: The engine's event kernel.  Closed-loop :meth:`run` schedules
+        #: request offers on it; in both modes it carries the lifecycle
+        #: marks that make a run traceable/diffable.
+        self.events = EventScheduler(
+            ENGINE_EVENT_ORDER, clock=self.trace_clock, trace=self.trace
+        )
         self.records: Dict[int, RequestRecord] = {}
         self.waiting: Deque[int] = deque()
         self.running: List[int] = []  # admission order (preemption pops the tail)
@@ -282,6 +326,11 @@ class ServingEngine:
             )
         return AdmissionVerdict.ACCEPT, "ok"
 
+    def _mark(self, kind: str, label: str) -> None:
+        """Lifecycle trace mark at the engine clock (no-op without a sink)."""
+        if self.trace is not None:
+            self.events.mark(kind, label, time=self.clock)
+
     def submit_record(self, record: RequestRecord) -> AdmissionVerdict:
         """Offer an existing record — also the fault-recovery re-dispatch
         path, where retry/waste accounting must survive the move across
@@ -293,8 +342,10 @@ class ServingEngine:
         if verdict is AdmissionVerdict.REJECT:
             record.mark_rejected(self.clock, reason)
             self.records[rid] = record
+            self._mark("reject", f"r{rid}:{reason}")
             return verdict
         if verdict is AdmissionVerdict.DEFER:
+            self._mark("defer", f"r{rid}:{reason}")
             return verdict
         if record.kv_bits is None:
             record.kv_bits = (
@@ -304,6 +355,7 @@ class ServingEngine:
             )
         self.records[rid] = record
         self.waiting.append(rid)
+        self._mark("submit", f"r{rid}")
         return verdict
 
     def cancel(self, request_id: int) -> Optional[RequestRecord]:
@@ -325,6 +377,7 @@ class ServingEngine:
             self.running.remove(request_id)
         if request_id in self.waiting:
             self.waiting.remove(request_id)
+        self._mark("cancel", f"r{request_id}")
         return self.records.pop(request_id)
 
     def evict_unfinished(self) -> List[RequestRecord]:
@@ -338,6 +391,7 @@ class ServingEngine:
         for rid in list(self.running) + list(self.waiting):
             self._release_request(rid)
             evicted.append(self.records.pop(rid))
+            self._mark("evict", f"r{rid}")
         self.running.clear()
         self.waiting.clear()
         return evicted
@@ -412,6 +466,7 @@ class ServingEngine:
         self._release_request(rid)
         self.waiting.remove(rid)
         rec.mark_shed(self.clock, reason)
+        self._mark("shed", f"r{rid}:{reason}")
 
     def _shed_doomed(self, rid: int) -> bool:
         """Deadline-aware shed check at dequeue time.
@@ -512,6 +567,7 @@ class ServingEngine:
                 if rec.prefilled >= rec.request.prompt_len:
                     rec.status = RequestStatus.RUNNING
             running.append(rid)
+            self._mark("admit", f"r{rid}")
         self.peak_running = max(self.peak_running, len(running))
 
         # Prefill work.  Unchunked: every PREFILLING request finishes
@@ -579,6 +635,7 @@ class ServingEngine:
             rec.generated += 1
             if rec.first_token_at is None:
                 rec.first_token_at = self.clock
+                self._mark("first_token", f"r{rid}")
             if rec.shared_tail_tokens and self.prefix_pool is not None:
                 # First decode write lands inside the shared tail block:
                 # copy-on-write — drop the shared reference and fold those
@@ -592,6 +649,7 @@ class ServingEngine:
                 rec.finished_at = self.clock
                 self._release_request(rid)
                 finished.append(rid)
+                self._mark("finish", f"r{rid}")
                 continue
             # Private growth covers only the non-shared context span.
             if not self._grow(
@@ -607,6 +665,7 @@ class ServingEngine:
                 records[victim].reset_for_requeue()
                 running.remove(victim)
                 waiting.appendleft(victim)
+                self._mark("preempt", f"r{victim}")
                 if victim != rid:
                     # Retry the growth for the current request.
                     if not self._grow(
@@ -618,6 +677,7 @@ class ServingEngine:
                         rec.reset_for_requeue()
                         running.remove(rid)
                         waiting.appendleft(rid)
+                        self._mark("preempt", f"r{rid}")
         for rid in finished:
             running.remove(rid)
         return step_time
@@ -641,37 +701,40 @@ class ServingEngine:
     # -- closed-loop simulation ------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ServingMetrics:
         self.start()
-        # Offer heap: (time, seq, record).  Arrivals seed it; DEFER
-        # verdicts re-enter at ``now + defer_retry_s`` until accepted or
-        # their defer budget turns into a terminal REJECT, so every
-        # request ends up in ``records`` exactly once.
-        offers: List[Tuple[float, int, RequestRecord]] = []
-        seq = 0
+        # The event kernel carries the offer timeline.  Arrivals seed it;
+        # DEFER verdicts re-enter at ``clock + defer_retry_s`` until
+        # accepted or their defer budget turns into a terminal REJECT, so
+        # every request ends up in ``records`` exactly once.  Engine
+        # steps are atomic and may overshoot an offer's time, hence
+        # ``pop_due`` (fire once the clock has passed it) rather than
+        # ``pop``.
+        events = self.events
         for r in sorted(requests, key=lambda r: (r.arrival_time, r.request_id)):
-            offers.append((r.arrival_time, seq, RequestRecord(request=r)))
-            seq += 1
-        heapq.heapify(offers)
+            events.schedule(
+                r.arrival_time, "offer", RequestRecord(request=r),
+                label=f"r{r.request_id}",
+            )
 
         for _ in range(self.config.max_iterations):
             # Drain due offers into the FCFS queue (or terminal REJECT).
-            while offers and offers[0][0] <= self.clock:
-                _, _, record = heapq.heappop(offers)
+            while (event := events.pop_due(self.clock)) is not None:
+                record = event.payload
                 if self.submit_record(record) is AdmissionVerdict.DEFER:
-                    seq += 1
-                    heapq.heappush(
-                        offers, (self.clock + self.defer_retry_s, seq, record)
+                    events.schedule(
+                        self.clock + self.defer_retry_s, "offer", record,
+                        label=f"r{record.request.request_id}",
                     )
 
             # Idle: jump to the next offer.
             if not self.busy:
-                if not offers:
+                if events.empty:
                     break
-                self.clock = offers[0][0]
+                self.clock = events.next_time
                 continue
 
             self.step()
 
-            if not self.busy and not offers:
+            if not self.busy and events.empty:
                 break
         else:
             raise RuntimeError("engine iteration limit exceeded (livelock?)")

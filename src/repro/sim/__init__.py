@@ -1,0 +1,62 @@
+"""Unified discrete-event simulation kernel.
+
+The serving engine (:mod:`repro.serving.engine`) and the cluster
+simulator (:mod:`repro.cluster.simulator`) used to carry two parallel
+``heapq`` loops with the same obligations — deterministic same-instant
+ordering, seeded reproducibility, livelock guards.  Every new scenario
+(faults, brownout, prefix caching) had to be built and tested twice.
+This package extracts the one kernel both drive:
+
+* :mod:`repro.sim.kernel` — :class:`EventScheduler`: schedule/cancel,
+  total same-instant ordering via ``(time, order_class, seq)``, a
+  monotonic-time assertion, and a ``time_scale`` for straggler modeling.
+  Every event *kind* must be registered with an order class up front —
+  an unregistered kind raises instead of silently sorting by name.
+* :mod:`repro.sim.trace` — structured tracing as a kernel feature: every
+  scheduled/fired/cancelled event (and every lifecycle *mark* a consumer
+  emits) becomes one typed record in a :class:`TraceSink`; the JSONL
+  sink writes canonical JSON lines, and :func:`trace_digest` is blake2b
+  over the canonicalized records — the byte-identity the determinism
+  suite asserts.
+* :mod:`repro.sim.replay` — :func:`diff_traces` compares two traces and
+  reports the *first divergent event* with surrounding context, exposed
+  as ``python -m repro trace-diff a.jsonl b.jsonl``.
+
+Because both loops drive this kernel, determinism is a property proven
+once (``tests/test_sim_kernel.py``) and inherited by every consumer,
+whose own suites reduce to golden trace digests.
+"""
+
+from repro.sim.kernel import (
+    Event,
+    EventScheduler,
+    MonotonicTimeError,
+    UnknownEventKind,
+)
+from repro.sim.trace import (
+    JsonlTraceSink,
+    ListTraceSink,
+    TraceSink,
+    canonical_line,
+    read_trace,
+    trace_digest,
+    trace_file_digest,
+)
+from repro.sim.replay import TraceDiff, diff_traces, format_diff
+
+__all__ = [
+    "Event",
+    "EventScheduler",
+    "MonotonicTimeError",
+    "UnknownEventKind",
+    "TraceSink",
+    "ListTraceSink",
+    "JsonlTraceSink",
+    "canonical_line",
+    "read_trace",
+    "trace_digest",
+    "trace_file_digest",
+    "TraceDiff",
+    "diff_traces",
+    "format_diff",
+]

@@ -1,0 +1,114 @@
+"""Trace replay diffing: find the first divergent event, with context.
+
+Determinism failures are worthless as a boolean ("digests differ") —
+the debugging currency is *which event diverged first* and what both
+runs were doing around it.  :func:`diff_traces` walks two record
+streams in lockstep, comparing canonical lines, and returns a
+:class:`TraceDiff` naming the first divergence plus the shared records
+leading up to it.  ``python -m repro trace-diff a.jsonl b.jsonl`` is the
+CLI face (exit 0 = byte-identical, exit 1 = divergent, with the report
+on stdout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence
+
+from repro.sim.trace import canonical_line, read_trace, trace_digest
+
+__all__ = ["TraceDiff", "diff_traces", "format_diff", "diff_trace_files"]
+
+
+@dataclass
+class TraceDiff:
+    """The first point where two traces disagree."""
+
+    #: Record index of the first divergence (both streams agree before it).
+    index: int
+    #: The divergent record from each side (None = that stream ended early).
+    a: Optional[Mapping[str, Any]]
+    b: Optional[Mapping[str, Any]]
+    #: Shared records immediately preceding the divergence, oldest first.
+    context: List[Mapping[str, Any]] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        """Event kind at the divergence (for one-line reporting)."""
+        rec = self.a if self.a is not None else self.b
+        return str(rec.get("ev", "?")) if rec is not None else "?"
+
+
+def diff_traces(
+    a: Sequence[Mapping[str, Any]],
+    b: Sequence[Mapping[str, Any]],
+    context: int = 3,
+) -> Optional[TraceDiff]:
+    """First divergent record between two traces, or None if identical.
+
+    Records are compared by canonical line, so key order and float
+    formatting differences in the source files cannot mask or fake a
+    divergence.
+    """
+    n = min(len(a), len(b))
+    for i in range(n):
+        if canonical_line(a[i]) != canonical_line(b[i]):
+            return TraceDiff(
+                index=i, a=a[i], b=b[i], context=list(a[max(0, i - context): i])
+            )
+    if len(a) != len(b):
+        longer = a if len(a) > len(b) else b
+        return TraceDiff(
+            index=n,
+            a=a[n] if len(a) > n else None,
+            b=b[n] if len(b) > n else None,
+            context=list(longer[max(0, n - context): n]),
+        )
+    return None
+
+
+def format_diff(diff: Optional[TraceDiff], name_a: str = "a", name_b: str = "b") -> str:
+    """Human-readable divergence report naming the first divergent event."""
+    if diff is None:
+        return "traces are byte-identical"
+    lines = [
+        f"first divergent event at record {diff.index} (kind={diff.kind!r})"
+    ]
+    if diff.context:
+        lines.append("shared context before divergence:")
+        lines += [f"  = {canonical_line(rec)}" for rec in diff.context]
+    lines.append(
+        f"  {name_a}: " + (canonical_line(diff.a) if diff.a is not None else "<end of trace>")
+    )
+    lines.append(
+        f"  {name_b}: " + (canonical_line(diff.b) if diff.b is not None else "<end of trace>")
+    )
+    return "\n".join(lines)
+
+
+def diff_trace_files(
+    path_a: str, path_b: str, context: int = 3
+) -> Optional[TraceDiff]:
+    """Diff two on-disk JSONL traces (``.gz`` transparently supported)."""
+    return diff_traces(read_trace(path_a), read_trace(path_b), context=context)
+
+
+def trace_diff_main(path_a: str, path_b: str, context: int = 3) -> int:
+    """CLI body for ``python -m repro trace-diff``: prints digests and, on
+    divergence, the first divergent event; returns the process exit code
+    (0 identical, 1 divergent, 2 unreadable input)."""
+    import sys
+
+    try:
+        a, b = read_trace(path_a), read_trace(path_b)
+    except OSError as exc:
+        print(f"trace-diff: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # malformed JSON line
+        print(f"trace-diff: malformed trace: {exc}", file=sys.stderr)
+        return 2
+    print(f"{path_a}: {len(a)} records, digest {trace_digest(a)}")
+    print(f"{path_b}: {len(b)} records, digest {trace_digest(b)}")
+    diff = diff_traces(a, b, context=context)
+    print(format_diff(diff, name_a=path_a, name_b=path_b))
+    return 0 if diff is None else 1

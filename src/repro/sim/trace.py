@@ -1,0 +1,164 @@
+"""Structured event traces: typed records, canonical JSONL, byte digests.
+
+Every record is one flat JSON object with a fixed schema:
+
+``i``
+    Sink-assigned sequence number (order of emission across *all* clocks
+    sharing the sink — the interleaving is part of the trace).
+``clock``
+    Which scheduler emitted it (``"cluster"``, ``"replica0"``,
+    ``"engine"``...).
+``action``
+    ``schedule`` | ``fire`` | ``cancel`` for kernel heap operations,
+    ``mark`` for consumer lifecycle notes (request admitted, breaker
+    tripped, replica scaled...).
+``ev``
+    The event kind, from the scheduler's closed order registry.
+``t``
+    Simulated time of the event (schedule time for ``schedule``/
+    ``cancel``, fire time for ``fire``, the consumer's clock for
+    ``mark``).
+``label``
+    Short human/diff-oriented payload summary (``"r17"``,
+    ``"crash@replica2"``...), never an object repr.
+
+**Canonical form.**  :func:`canonical_line` serializes a record with
+sorted keys, minimal separators, and ``allow_nan=False``; floats use
+Python's shortest-roundtrip repr.  Two runs are *byte-identical* iff
+their canonical lines match, and :func:`trace_digest` collapses that to
+one blake2b hex digest — what the determinism suite compares.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import json
+from typing import IO, Any, Dict, Iterable, List, Mapping, Optional, Union
+
+__all__ = [
+    "TraceSink",
+    "ListTraceSink",
+    "JsonlTraceSink",
+    "canonical_line",
+    "read_trace",
+    "trace_digest",
+    "trace_file_digest",
+]
+
+Record = Dict[str, Any]
+
+
+def canonical_line(record: Mapping[str, Any]) -> str:
+    """The one canonical serialization of a record (digest/diff unit)."""
+    return json.dumps(
+        record, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def trace_digest(records: Iterable[Mapping[str, Any]]) -> str:
+    """blake2b over the canonicalized records, one hex digest per trace."""
+    h = hashlib.blake2b(digest_size=16)
+    for record in records:
+        h.update(canonical_line(record).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class TraceSink:
+    """Base sink: assigns the global sequence number and dispatches the
+    completed record to :meth:`_write`.  Subclasses store or stream."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def emit(self, fields: Mapping[str, Any]) -> None:
+        record: Record = {"i": self._next, **fields}
+        self._next += 1
+        self._write(record)
+
+    def _write(self, record: Record) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (no-op by default)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ListTraceSink(TraceSink):
+    """In-memory sink — the test suite's digest source."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: List[Record] = []
+
+    def _write(self, record: Record) -> None:
+        self.records.append(record)
+
+    def digest(self) -> str:
+        return trace_digest(self.records)
+
+
+class JsonlTraceSink(TraceSink):
+    """Streams canonical JSON lines to a path or file object.
+
+    A path ending in ``.gz`` is gzip-compressed with ``mtime=0`` so the
+    *compressed* bytes are reproducible too (golden fixtures are checked
+    in gzipped).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        super().__init__()
+        self._owns = isinstance(target, str)
+        self._raw: Optional[IO[bytes]] = None
+        if isinstance(target, str):
+            if target.endswith(".gz"):
+                # GzipFile over a fileobj (not gzip.open) so both the
+                # mtime and the embedded-filename header fields stay
+                # empty — the compressed bytes depend only on content.
+                self._raw = open(target, "wb")
+                self._fh: IO[str] = io.TextIOWrapper(
+                    gzip.GzipFile(
+                        filename="", fileobj=self._raw, mode="wb", mtime=0
+                    ),
+                    encoding="utf-8",
+                )
+            else:
+                self._fh = open(target, "w", encoding="utf-8")
+        else:
+            self._fh = target
+
+    def _write(self, record: Record) -> None:
+        self._fh.write(canonical_line(record))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+            if self._raw is not None:
+                self._raw.close()
+        else:
+            self._fh.flush()
+
+
+def read_trace(path: str) -> List[Record]:
+    """Load a JSONL trace (transparently gunzipping ``.gz``)."""
+    opener = gzip.open if path.endswith(".gz") else open
+    records: List[Record] = []
+    with opener(path, "rt", encoding="utf-8") as fh:  # type: ignore[operator]
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def trace_file_digest(path: str) -> str:
+    """Digest of an on-disk trace (identical to digesting its records)."""
+    return trace_digest(read_trace(path))

@@ -91,15 +91,23 @@ class TestSymmetric:
         x_hat = dequantize_symmetric(codes, scale)
         assert np.max(np.abs(x - x_hat)) <= np.max(scale) / 2 + 1e-9
 
-    @given(finite_arrays, st.sampled_from([2, 4, 8]))
+    @given(finite_arrays)
     @settings(max_examples=50, deadline=None)
-    def test_error_monotone_in_bits(self, x, bits):
-        errs = {}
+    def test_error_bound_monotone_in_bits(self, x):
+        # Pointwise max error is NOT monotone in bits — a coarse grid
+        # can land luckily close to a value the finer grid misses
+        # (e.g. x = [[150, 43], [43, 43]]: the 4-bit grid nearly hits
+        # 43, the 8-bit grid doesn't).  What more bits buy is a tighter
+        # *guarantee*: each width meets its own half-scale bound, and
+        # those bounds shrink with bits.
+        bounds = {}
         for b in (2, 4, 8):
             codes, scale = quantize_symmetric(x, bits=b)
-            errs[b] = np.abs(x - dequantize_symmetric(codes, scale)).max()
-        assert errs[8] <= errs[4] + 1e-9
-        assert errs[4] <= errs[2] + 1e-9
+            err = np.abs(x - dequantize_symmetric(codes, scale)).max()
+            bounds[b] = np.max(scale) / 2
+            assert err <= bounds[b] + 1e-9
+        assert bounds[8] <= bounds[4] + 1e-9
+        assert bounds[4] <= bounds[2] + 1e-9
 
 
 class TestAsymmetric:

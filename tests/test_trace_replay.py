@@ -1,0 +1,186 @@
+"""Golden trace fixtures and the trace-diff replay layer.
+
+Two small seeded runs — one engine, one faulted cluster — are checked
+in as gzipped JSONL traces (``tests/fixtures/``).  Regenerating them
+in-process and replaying through :func:`repro.sim.diff_traces` must
+report zero divergence: any change to event ordering, time arithmetic,
+or the trace schema shows up here as a *named first divergent event*,
+not a silent behaviour drift.
+
+Regenerate the fixtures after an intentional semantics change with::
+
+    PYTHONPATH=src python tests/test_trace_replay.py
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSimulator, FaultConfig
+from repro.perf.attention_costs import METHODS
+from repro.perf.e2e import ModelGeometry
+from repro.serving import ServingEngine, poisson_workload
+from repro.sim import (
+    JsonlTraceSink,
+    ListTraceSink,
+    diff_traces,
+    format_diff,
+    read_trace,
+    trace_digest,
+    trace_file_digest,
+)
+from repro.sim.replay import diff_trace_files, trace_diff_main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+GOLDEN_ENGINE = os.path.join(FIXTURES, "golden_engine_trace.jsonl.gz")
+GOLDEN_CLUSTER = os.path.join(FIXTURES, "golden_cluster_trace.jsonl.gz")
+
+GOLDEN_FAULTS = FaultConfig(
+    seed=5, crash_rate=0.05, stall_rate=0.05,
+    crash_downtime_s=6.0, stall_duration_s=4.0, stall_slowdown=3.0,
+    request_timeout_s=30.0, max_retries=2, horizon_pad_s=10.0,
+)
+
+
+def _golden_workload():
+    return poisson_workload(
+        12, arrival_rate=5.0, prompt_range=(256, 2048), gen_range=(32, 128),
+        rng=np.random.default_rng(3), n_sessions=6,
+    )
+
+
+def build_golden_engine_records():
+    sink = ListTraceSink()
+    model = ModelGeometry.phi3_medium()
+    ServingEngine(model, METHODS["turbo4"], trace=sink).run(_golden_workload())
+    return sink.records
+
+
+def build_golden_cluster_records():
+    sink = ListTraceSink()
+    model = ModelGeometry.phi3_medium()
+    ClusterSimulator(
+        model,
+        METHODS["turbo4"],
+        ClusterConfig(n_replicas=2, policy="least_kv", faults=GOLDEN_FAULTS),
+        trace=sink,
+    ).run(_golden_workload())
+    return sink.records
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize(
+        "path,builder",
+        [
+            (GOLDEN_ENGINE, build_golden_engine_records),
+            (GOLDEN_CLUSTER, build_golden_cluster_records),
+        ],
+        ids=["engine", "cluster"],
+    )
+    def test_replay_matches_golden_with_zero_divergence(self, path, builder):
+        golden = read_trace(path)
+        fresh = builder()
+        diff = diff_traces(golden, fresh)
+        assert diff is None, "semantics drifted from the checked-in trace:\n" + \
+            format_diff(diff, "golden", "fresh")
+        assert trace_digest(fresh) == trace_file_digest(path)
+
+    def test_golden_cluster_exercises_the_fault_machinery(self):
+        """The fixture is non-vacuous: faults actually fired into it."""
+        kinds = {r["ev"] for r in read_trace(GOLDEN_CLUSTER)}
+        assert "fault" in kinds and "arrival" in kinds
+
+
+class TestDiffReporting:
+    def test_failing_diff_names_the_first_divergent_event(self):
+        golden = read_trace(GOLDEN_CLUSTER)
+        mutated = copy.deepcopy(golden)
+        victim = next(
+            i for i, r in enumerate(mutated) if r["action"] == "fire"
+        )
+        mutated[victim]["t"] += 1e-9
+        diff = diff_traces(golden, mutated)
+        assert diff is not None
+        assert diff.index == victim
+        assert diff.kind == golden[victim]["ev"]
+        report = format_diff(diff, "golden", "mutated")
+        assert "first divergent event" in report
+        assert f"record {victim}" in report
+        assert golden[victim]["ev"] in report
+        # Context shows the shared run-up, then both sides of the split.
+        assert "golden:" in report and "mutated:" in report
+
+    def test_length_mismatch_is_a_divergence_at_the_tail(self):
+        golden = read_trace(GOLDEN_ENGINE)
+        truncated = golden[:-2]
+        diff = diff_traces(golden, truncated)
+        assert diff is not None
+        assert diff.index == len(truncated)
+        assert diff.a is not None and diff.b is None
+
+    def test_identical_traces_have_no_diff(self):
+        golden = read_trace(GOLDEN_ENGINE)
+        assert diff_traces(golden, copy.deepcopy(golden)) is None
+        assert format_diff(None) == "traces are byte-identical"
+
+
+class TestTraceIO:
+    def test_jsonl_roundtrip_plain_and_gzip(self, tmp_path):
+        records = build_golden_engine_records()
+        for name in ("t.jsonl", "t.jsonl.gz"):
+            path = str(tmp_path / name)
+            with JsonlTraceSink(path) as sink:
+                for r in records:
+                    # emit() assigns "i"; replay the original fields.
+                    sink.emit({k: v for k, v in r.items() if k != "i"})
+            assert read_trace(path) == records
+            assert trace_file_digest(path) == trace_digest(records)
+
+    def test_gzip_bytes_are_reproducible(self, tmp_path):
+        """mtime is pinned, so even the compressed fixture bytes are
+        stable — golden .gz files never churn in git without cause."""
+        blobs = []
+        for name in ("a.jsonl.gz", "b.jsonl.gz"):
+            path = str(tmp_path / name)
+            with JsonlTraceSink(path) as sink:
+                sink.emit({"clock": "x", "action": "mark", "ev": "e", "t": 1.0,
+                           "label": ""})
+            with open(path, "rb") as fh:
+                blobs.append(fh.read())
+        assert blobs[0] == blobs[1]
+
+    def test_trace_diff_cli_exit_codes(self, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        records = build_golden_engine_records()
+        for path, recs in ((a, records), (b, records[:-1])):
+            with JsonlTraceSink(path) as sink:
+                for r in recs:
+                    sink.emit({k: v for k, v in r.items() if k != "i"})
+        assert trace_diff_main(a, a) == 0
+        assert "byte-identical" in capsys.readouterr().out
+        assert trace_diff_main(a, b) == 1
+        assert "first divergent event" in capsys.readouterr().out
+        assert diff_trace_files(a, b) is not None
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    os.makedirs(FIXTURES, exist_ok=True)
+    for path, builder in (
+        (GOLDEN_ENGINE, build_golden_engine_records),
+        (GOLDEN_CLUSTER, build_golden_cluster_records),
+    ):
+        records = builder()
+        with JsonlTraceSink(path) as sink:
+            for r in records:
+                sink.emit({k: v for k, v in r.items() if k != "i"})
+        print(f"wrote {path}: {len(records)} records, "
+              f"digest {trace_file_digest(path)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()
