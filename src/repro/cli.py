@@ -31,6 +31,7 @@ from repro.cluster import (
     AutoscalerConfig,
     ClusterConfig,
     ClusterSimulator,
+    DisaggConfig,
     FaultConfig,
     ROUTER_POLICIES,
 )
@@ -152,7 +153,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             stall_slowdown=args.stall_slowdown,
             request_timeout_s=args.timeout,
             max_retries=args.max_retries,
+            migration_drop_rate=args.migration_drop_rate,
+            migration_corrupt_rate=args.migration_corrupt_rate,
+            link_stall_rate=args.link_stall_rate,
         )
+    disagg = None
+    if args.disagg:
+        n_prefill = args.prefill
+        n_decode = args.replicas - n_prefill
+        if n_prefill < 1 or n_decode < 1:
+            print("--disagg needs --replicas > --prefill >= 1", file=sys.stderr)
+            return 2
+        disagg = DisaggConfig(n_prefill=n_prefill, n_decode=n_decode)
     policies = list(ROUTER_POLICIES) if args.policy == "all" else [args.policy]
     if args.trace and len(policies) > 1:
         print("--trace records one run: pick a single --policy", file=sys.stderr)
@@ -166,6 +178,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             slo=slo,
             autoscaler=autoscaler,
             faults=faults,
+            disagg=disagg,
         )
         sink = JsonlTraceSink(args.trace) if args.trace else None
         m = ClusterSimulator(
@@ -229,6 +242,13 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     from repro.harness.overload import main as overload_main
 
     overload_main(quick=args.quick)
+    return 0
+
+
+def _cmd_disagg(args: argparse.Namespace) -> int:
+    from repro.harness.disagg import main as disagg_main
+
+    disagg_main(quick=args.quick)
     return 0
 
 
@@ -318,6 +338,21 @@ def build_parser() -> argparse.ArgumentParser:
                            help="per-dispatch TTFT deadline (s)")
     p_cluster.add_argument("--max-retries", type=int, default=3,
                            help="re-dispatch budget before a request FAILs")
+    p_cluster.add_argument("--disagg", action="store_true",
+                           help="split the fleet into prefill/decode pools "
+                                "with KV migration between them")
+    p_cluster.add_argument("--prefill", type=int, default=1,
+                           help="prefill-pool size under --disagg (decode "
+                                "pool gets the remaining replicas)")
+    p_cluster.add_argument("--migration-drop-rate", type=float, default=0.0,
+                           help="probability a KV transfer is dropped "
+                                "(--faults + --disagg)")
+    p_cluster.add_argument("--migration-corrupt-rate", type=float, default=0.0,
+                           help="probability a KV transfer arrives corrupted "
+                                "(--faults + --disagg)")
+    p_cluster.add_argument("--link-stall-rate", type=float, default=0.0,
+                           help="fleet link-congestion windows per second "
+                                "(--faults + --disagg)")
     p_cluster.add_argument("--trace", default=None, metavar="PATH",
                            help="write a JSONL event trace of the run "
                                 "(.gz compresses; requires a single policy)")
@@ -349,6 +384,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_o.add_argument("--quick", action="store_true")
     p_o.set_defaults(fn=_cmd_overload)
+
+    p_d = sub.add_parser(
+        "disagg",
+        help="disaggregated prefill/decode demo: fault-tolerant KV "
+             "migration, salvage recovery, and the compression-makes-"
+             "it-viable comparison against a unified fleet",
+    )
+    p_d.add_argument("--quick", action="store_true")
+    p_d.set_defaults(fn=_cmd_disagg)
 
     p_p = sub.add_parser(
         "prefix",

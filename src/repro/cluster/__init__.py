@@ -23,9 +23,14 @@ goodput an SLO-bound deployment extracts from the same GPUs.
   availability/degradation accounting under faults and overload
   (rejected/shed/brownout-token counters).
 
-This is the architectural seam later scaling work (disaggregated
-prefill, heterogeneous replicas, multi-tenant fairness) plugs into: each
-is a new router/replica/autoscaler variant behind the same simulator.
+The simulator also runs a **disaggregated** mode
+(:class:`repro.cluster.simulator.DisaggConfig`): replicas split into a
+prefill pool and a decode pool, and finished prompts migrate their
+quantized KV over the interconnect through :mod:`repro.migrate` —
+checksummed, fault-injected, salvage-recovered handoffs scheduled as
+first-class kernel events.  Later scaling work (heterogeneous replicas,
+multi-tenant fairness) plugs into the same seam: a new
+router/replica/autoscaler variant behind the same simulator.
 """
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
@@ -48,7 +53,7 @@ from repro.cluster.router import (
     SessionAffinityRouter,
     make_router,
 )
-from repro.cluster.simulator import ClusterConfig, ClusterSimulator
+from repro.cluster.simulator import ClusterConfig, ClusterSimulator, DisaggConfig
 
 __all__ = [
     "Autoscaler",
@@ -71,5 +76,6 @@ __all__ = [
     "ROUTER_POLICIES",
     "make_router",
     "ClusterConfig",
+    "DisaggConfig",
     "ClusterSimulator",
 ]

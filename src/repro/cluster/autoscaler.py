@@ -34,6 +34,11 @@ class AutoscalerConfig:
     #: threshold).
     scale_down_queue: float = 0.25
     cooldown_s: float = 20.0
+    #: Warm-cache scale-down veto: a replica whose prefix pool holds at
+    #: least this many resident shared blocks is never picked as the
+    #: drain victim (retiring it would throw hot cache away and re-cold
+    #: every session pinned to it).  ``None`` disables the veto.
+    warm_block_veto: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -42,6 +47,8 @@ class AutoscalerConfig:
             raise ValueError("max_replicas must be >= min_replicas")
         if self.scale_down_queue >= self.scale_up_queue:
             raise ValueError("scale_down_queue must be below scale_up_queue")
+        if self.warm_block_veto is not None and self.warm_block_veto < 1:
+            raise ValueError("warm_block_veto must be >= 1 (or None)")
 
 
 class Autoscaler:
@@ -74,8 +81,17 @@ class Autoscaler:
                 return "down"
         return None
 
-    @staticmethod
-    def pick_victim(active: List[Replica]) -> Replica:
+    def pick_victim(self, active: List[Replica]) -> Optional[Replica]:
         """Replica to drain on scale-down: the least-loaded, then the
-        youngest (highest id) — it empties fastest."""
+        youngest (highest id) — it empties fastest.
+
+        With ``warm_block_veto`` set, replicas holding that many resident
+        shared prefix blocks are protected; ``None`` means every
+        candidate is warm and this scale-down round is skipped.
+        """
+        veto = self.config.warm_block_veto
+        if veto is not None:
+            active = [r for r in active if r.warm_blocks < veto]
+        if not active:
+            return None
         return min(active, key=lambda r: (r.outstanding_tokens, -r.replica_id))

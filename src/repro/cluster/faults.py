@@ -18,6 +18,20 @@ deterministic, seeded schedule of faults into
   replica is pulled back and retried elsewhere (the client-side deadline
   real gateways enforce).
 
+Disaggregated prefill/decode fleets (:mod:`repro.migrate`) add faults on
+the inter-pool link itself:
+
+* **link_stall** — congestion on the migration link: every transfer
+  started while the stall is active takes ``link_stall_slowdown`` times
+  longer for ``link_stall_duration_s``.
+* **drop / corrupt** — per-transfer outcomes rolled at send time from an
+  independent keyed stream (:meth:`FaultInjector.migration_roll`): a
+  *dropped* transfer is retried under the same capped backoff against a
+  per-request migration budget (``max_migration_retries``; exhaustion
+  degrades to local decode on the prefill replica), and a *corrupted*
+  one is detected by the payload checksums on arrival and salvaged to
+  the longest valid prefix (:mod:`repro.migrate.payload`).
+
 Recovery is capped-exponential-backoff redispatch with a per-request
 retry budget (``max_retries``); a request that exhausts it is recorded as
 ``FAILED`` — degraded, never lost, so conservation ("every submitted
@@ -75,6 +89,18 @@ class FaultConfig:
     #: Faults keep arriving this long past the last request arrival, so
     #: the drain phase is exposed to them too.
     horizon_pad_s: float = 30.0
+    # -- migration-link faults (disaggregated mode only) ---------------------
+    #: Probability one KV transfer is dropped in flight (rolled per send).
+    migration_drop_rate: float = 0.0
+    #: Probability one KV transfer arrives with corrupted payload bytes.
+    migration_corrupt_rate: float = 0.0
+    #: Re-send budget per request; beyond it decode runs locally on the
+    #: prefill replica (slower, never lost).
+    max_migration_retries: int = 2
+    #: Poisson rate of link-congestion stalls (per simulated second).
+    link_stall_rate: float = 0.0
+    link_stall_duration_s: float = 5.0
+    link_stall_slowdown: float = 4.0
 
     def __post_init__(self) -> None:
         if self.crash_rate < 0 or self.stall_rate < 0:
@@ -91,6 +117,20 @@ class FaultConfig:
             raise ValueError("need 0 < backoff_base_s <= backoff_cap_s")
         if self.horizon_pad_s < 0:
             raise ValueError("horizon_pad_s must be non-negative")
+        if not 0.0 <= self.migration_drop_rate <= 1.0:
+            raise ValueError("migration_drop_rate must lie in [0, 1]")
+        if not 0.0 <= self.migration_corrupt_rate <= 1.0:
+            raise ValueError("migration_corrupt_rate must lie in [0, 1]")
+        if self.migration_drop_rate + self.migration_corrupt_rate > 1.0:
+            raise ValueError("migration drop + corrupt rates must not exceed 1")
+        if self.max_migration_retries < 0:
+            raise ValueError("max_migration_retries must be >= 0")
+        if self.link_stall_rate < 0:
+            raise ValueError("link_stall_rate must be non-negative")
+        if self.link_stall_duration_s <= 0:
+            raise ValueError("link_stall_duration_s must be positive")
+        if self.link_stall_slowdown < 1.0:
+            raise ValueError("link_stall_slowdown must be >= 1")
 
     def backoff(self, retries: int) -> float:
         """Capped exponential backoff before the ``retries``-th re-dispatch."""
@@ -120,6 +160,14 @@ class FaultInjector:
                 self.config.stall_duration_s,
                 self.config.stall_slowdown,
             ),
+            # Index 2: appending here keeps the crash/stall child seeds —
+            # and therefore every existing golden trace — untouched.
+            (
+                "link_stall",
+                self.config.link_stall_rate,
+                self.config.link_stall_duration_s,
+                self.config.link_stall_slowdown,
+            ),
         )
         for index, (kind, rate, duration, slowdown) in enumerate(kinds):
             if rate <= 0:
@@ -141,3 +189,22 @@ class FaultInjector:
                 )
         events.sort(key=lambda e: (e.time, e.kind, e.salt))
         return events
+
+    def migration_roll(self, request_id: int, attempt: int) -> str:
+        """Outcome of one KV transfer: ``"drop"``, ``"corrupt"`` or ``"ok"``.
+
+        One uniform draw from a stream keyed ``[seed, 7919, request_id,
+        attempt]`` — independent of the Poisson schedules and of every
+        other request/attempt, so retrying one transfer never perturbs
+        another's fate and reruns are byte-identical.
+        """
+        u = float(
+            np.random.default_rng(
+                [self.config.seed, 7919, request_id, attempt]
+            ).uniform()
+        )
+        if u < self.config.migration_drop_rate:
+            return "drop"
+        if u < self.config.migration_drop_rate + self.config.migration_corrupt_rate:
+            return "corrupt"
+        return "ok"

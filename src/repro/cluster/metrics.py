@@ -62,6 +62,9 @@ class ScaleEvent:
     time: float
     action: str  # "up" | "down"
     n_active: int  # active replicas after the action
+    #: Which pool scaled: "" for unified fleets, "prefill"/"decode" when
+    #: the disaggregated pools autoscale independently.
+    pool: str = ""
 
 
 @dataclass
@@ -80,6 +83,13 @@ class FaultCounters:
     redispatches: int = 0
     #: Total scheduled replica downtime (crash durations).
     downtime_s: float = 0.0
+    # -- migration-link faults (disaggregated mode) --------------------------
+    #: KV transfers dropped in flight (each consumes migration budget).
+    migration_drops: int = 0
+    #: KV transfers that arrived with corrupted payload bytes.
+    migration_corruptions: int = 0
+    #: Link-congestion stall events on the inter-pool link.
+    link_stalls: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,6 +150,24 @@ class ClusterMetrics:
     cow_copies: int = 0
     #: Jain fairness index over per-tenant SLO attainment.
     fairness_jain: float = NAN
+    # -- KV migration (repro.migrate; zero/NaN for unified fleets) -----------
+    #: Completed prefill→decode handoffs and bytes shipped on the link
+    #: (including bytes wasted by dropped/corrupted transfers).
+    migrations: int = 0
+    migrated_bytes: float = 0.0
+    #: Re-sent transfers (drops, destination crashes, no-target waits).
+    migration_retries: int = 0
+    #: Prompt tokens re-prefilled after salvaged corrupt handoffs.
+    salvage_recomputed_tokens: int = 0
+    #: Requests that fell back to decoding on their prefill replica.
+    local_decode_fallbacks: int = 0
+    #: Handoff latency percentiles over successfully migrated requests.
+    p50_handoff_latency: float = NAN
+    p99_handoff_latency: float = NAN
+    #: Link fault tallies (see FaultCounters).
+    migration_drops: int = 0
+    migration_corruptions: int = 0
+    link_stalls: int = 0
     replicas: Tuple[ReplicaStats, ...] = field(default=())
     scale_events: Tuple[ScaleEvent, ...] = field(default=())
 
@@ -208,6 +236,16 @@ class ClusterMetrics:
             "shared_blocks": self.shared_blocks,
             "cow_copies": self.cow_copies,
             "fairness_jain": self.fairness_jain,
+            "migrations": self.migrations,
+            "migrated_bytes": self.migrated_bytes,
+            "migration_retries": self.migration_retries,
+            "salvage_recomputed_tokens": self.salvage_recomputed_tokens,
+            "local_decode_fallbacks": self.local_decode_fallbacks,
+            "p50_handoff_latency_s": self.p50_handoff_latency,
+            "p99_handoff_latency_s": self.p99_handoff_latency,
+            "migration_drops": self.migration_drops,
+            "migration_corruptions": self.migration_corruptions,
+            "link_stalls": self.link_stalls,
         }
 
 
@@ -269,6 +307,7 @@ def summarize_cluster(
     fairness = jain_index(
         [good_by_tenant.get(t, 0) / n for t, n in submitted_by_tenant.items()]
     )
+    handoffs = [r.handoff_latency for r in records if r.handoff_latency is not None]
     return ClusterMetrics(
         completed=len(finished),
         total=len(records),
@@ -306,6 +345,16 @@ def summarize_cluster(
         shared_blocks=shared_blocks,
         cow_copies=sum(r.cow_copies for r in records),
         fairness_jain=fairness,
+        migrations=sum(r.migrations for r in records),
+        migrated_bytes=sum(r.migrated_bytes for r in records),
+        migration_retries=sum(r.migration_retries for r in records),
+        salvage_recomputed_tokens=sum(r.salvage_recomputed_tokens for r in records),
+        local_decode_fallbacks=sum(1 for r in records if r.local_decode),
+        p50_handoff_latency=_percentile(handoffs, 50),
+        p99_handoff_latency=_percentile(handoffs, 99),
+        migration_drops=counters.migration_drops,
+        migration_corruptions=counters.migration_corruptions,
+        link_stalls=counters.link_stalls,
         replicas=tuple(replica_stats),
         scale_events=tuple(scale_events),
     )

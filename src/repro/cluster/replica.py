@@ -32,8 +32,12 @@ class Replica:
         config: EngineConfig = EngineConfig(),
         gpu: GPUSpec = A100_80GB,
         trace: Optional[TraceSink] = None,
+        role: str = "unified",
     ):
         self.replica_id = replica_id
+        #: Pool membership: ``"unified"`` (classic), ``"prefill"`` or
+        #: ``"decode"`` (disaggregated fleets; see :mod:`repro.migrate`).
+        self.role = role
         # The engine's lifecycle marks land in the cluster-wide trace
         # under this replica's clock name, so one trace file interleaves
         # the fleet timeline with every replica's per-request events.
@@ -142,6 +146,15 @@ class Replica:
         """Prompt tokens of ``request`` resident in this replica's prefix
         pool (0 without one) — the affinity router's locality signal."""
         return self.engine.prefix_warmth(request)
+
+    @property
+    def warm_blocks(self) -> int:
+        """Shared prefix-cache blocks currently resident on this replica
+        (0 without a pool) — the autoscaler's scale-down veto signal:
+        retiring a warm replica throws away cache other requests would
+        hit."""
+        pool = self.engine.prefix_pool
+        return pool.resident_blocks if pool is not None else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -65,6 +65,13 @@ from repro.cluster.metrics import (
 )
 from repro.cluster.replica import Replica
 from repro.cluster.router import make_router
+from repro.migrate import (
+    MigrationConfig,
+    build_payload,
+    corrupt_payload,
+    kv_wire_bytes,
+    receive_payload,
+)
 from repro.overload.admission import (
     AdmissionConfig,
     AdmissionController,
@@ -75,11 +82,16 @@ from repro.perf.attention_costs import MethodSpec
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
 from repro.serving.engine import EngineConfig
-from repro.serving.request import Request, RequestRecord
+from repro.serving.request import Request, RequestRecord, RequestStatus
 from repro.sim.kernel import Event, EventScheduler
 from repro.sim.trace import TraceSink
 
-__all__ = ["CLUSTER_EVENT_ORDER", "ClusterConfig", "ClusterSimulator"]
+__all__ = [
+    "CLUSTER_EVENT_ORDER",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "DisaggConfig",
+]
 
 # The cluster's closed event taxonomy (see :mod:`repro.sim.kernel`).
 # Same-instant events resolve in a fixed order so runs are reproducible:
@@ -91,15 +103,56 @@ __all__ = ["CLUSTER_EVENT_ORDER", "ClusterConfig", "ClusterSimulator"]
 CLUSTER_EVENT_ORDER = {
     "recover": 0,
     "stall_end": 1,
+    "link_stall_end": 1,
     "fault": 2,
     "arrival": 3,
     "redispatch": 3,
+    # KV handoffs share the work-placement order class: a transfer
+    # arriving "as" the timeout deadline fires still beats the deadline.
+    "migrate_arrive": 3,
+    "migrate_retry": 3,
     "timeout": 4,
-    # lifecycle marks (not scheduled; registered to pin the taxonomy)
+    # lifecycle marks (not scheduled; registered to pin the taxonomy).
+    # Existing order-class values are frozen by the golden trace
+    # fixtures — new kinds only ever append, never renumber.
     "scale_up": 10,
     "scale_down": 11,
     "breaker_trip": 12,
+    "migrate_send": 13,
+    "migrate_drop": 14,
+    "migrate_corrupt": 15,
+    "migrate_reroute": 16,
+    "handoff_done": 17,
+    "local_fallback": 18,
 }
+
+
+@dataclass(frozen=True)
+class DisaggConfig:
+    """Disaggregated prefill/decode fleet layout (see :mod:`repro.migrate`).
+
+    Replicas split into a prefill pool (engines run ``prefill_only``:
+    requests park at prefill completion with KV pinned) and a decode
+    pool; completed prefills migrate across the inter-pool link as
+    first-class cluster events, charged real width-dependent transfer
+    time.  Each pool routes and autoscales independently.
+    """
+
+    n_prefill: int = 1
+    n_decode: int = 2
+    #: Routing policy within each pool.  Prefill placement is compute-
+    #: bound (spread by outstanding tokens); decode placement is KV-bound.
+    prefill_policy: str = "least_tokens"
+    decode_policy: str = "least_kv"
+    migration: MigrationConfig = MigrationConfig()
+    #: Per-pool autoscalers; ``None`` pins that pool at its initial size.
+    #: ``ClusterConfig.autoscaler`` is ignored in disaggregated mode.
+    prefill_autoscaler: Optional[AutoscalerConfig] = None
+    decode_autoscaler: Optional[AutoscalerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.n_prefill < 1 or self.n_decode < 1:
+            raise ValueError("each pool needs at least one replica")
 
 
 @dataclass(frozen=True)
@@ -126,6 +179,10 @@ class ClusterConfig:
     breaker: Optional[BreakerConfig] = None
     #: Global engine-iteration guard across the whole fleet.
     max_steps: int = 20_000_000
+    #: Disaggregated prefill/decode mode; ``None`` keeps the classic
+    #: unified fleet (``n_replicas`` is ignored when set — the fleet is
+    #: ``n_prefill + n_decode``).
+    disagg: Optional[DisaggConfig] = None
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -156,13 +213,44 @@ class ClusterSimulator:
             CLUSTER_EVENT_ORDER, clock="cluster", trace=trace
         )
         self._engine_config = replace(config.engine, tp=config.tp)
-        self.replicas: List[Replica] = [
-            self._new_replica(i) for i in range(config.n_replicas)
-        ]
-        self.router = make_router(config.policy)
-        self.autoscaler = (
-            Autoscaler(config.autoscaler) if config.autoscaler is not None else None
-        )
+        self._prefill_config = replace(self._engine_config, prefill_only=True)
+        disagg = config.disagg
+        if disagg is None:
+            self.replicas: List[Replica] = [
+                self._new_replica(i) for i in range(config.n_replicas)
+            ]
+            self.router = make_router(config.policy)
+            self.decode_router = None
+            self.autoscaler = (
+                Autoscaler(config.autoscaler)
+                if config.autoscaler is not None
+                else None
+            )
+            self.prefill_autoscaler = None
+            self.decode_autoscaler = None
+        else:
+            self.replicas = [
+                self._new_replica(i, role="prefill")
+                for i in range(disagg.n_prefill)
+            ] + [
+                self._new_replica(disagg.n_prefill + i, role="decode")
+                for i in range(disagg.n_decode)
+            ]
+            # ``router`` places arrivals — the prefill pool's policy; the
+            # decode router places migrated-in handoffs.
+            self.router = make_router(disagg.prefill_policy)
+            self.decode_router = make_router(disagg.decode_policy)
+            self.autoscaler = None
+            self.prefill_autoscaler = (
+                Autoscaler(disagg.prefill_autoscaler)
+                if disagg.prefill_autoscaler is not None
+                else None
+            )
+            self.decode_autoscaler = (
+                Autoscaler(disagg.decode_autoscaler)
+                if disagg.decode_autoscaler is not None
+                else None
+            )
         self.scale_events: List[ScaleEvent] = []
         self.fault_counters = FaultCounters()
         self.failed: Dict[int, RequestRecord] = {}
@@ -174,18 +262,30 @@ class ClusterSimulator:
             else None
         )
         self.breakers: Dict[int, CircuitBreaker] = {}
-        self.peak_replicas = config.n_replicas
+        self.peak_replicas = len(self.replicas)
         self._steps = 0
         self._location: Dict[int, Replica] = {}
         #: Live timeout-deadline events by request id, cancelled when the
         #: request leaves the replica the deadline was armed against.
         self._timeout_events: Dict[int, Event] = {}
+        #: Live in-flight migration events (arrive/retry) by request id —
+        #: the cancellation handles a destination crash or a source
+        #: eviction uses to revoke a transfer mid-flight.
+        self._inflight: Dict[int, Event] = {}
+        #: Overlapping link-congestion stalls currently active.
+        self._active_link_stalls = 0
+        self._injector = (
+            FaultInjector(config.faults) if config.faults is not None else None
+        )
 
     # -- fleet management ---------------------------------------------------
-    def _new_replica(self, replica_id: int) -> Replica:
+    def _new_replica(self, replica_id: int, role: str = "unified") -> Replica:
+        engine_config = (
+            self._prefill_config if role == "prefill" else self._engine_config
+        )
         return Replica(
-            replica_id, self.model, self.method, self._engine_config, self.gpu,
-            trace=self.trace,
+            replica_id, self.model, self.method, engine_config, self.gpu,
+            trace=self.trace, role=role,
         )
 
     @property
@@ -193,21 +293,38 @@ class ClusterSimulator:
         """Replicas the fleet can count on: neither draining nor down."""
         return [r for r in self.replicas if r.dispatchable]
 
+    def _pool(self, role: str) -> List[Replica]:
+        """Dispatchable members of one pool."""
+        return [r for r in self.replicas if r.role == role and r.dispatchable]
+
     def _step_replica(self, replica: Replica) -> None:
         self._steps += 1
         if self._steps > self.config.max_steps:
             raise RuntimeError("cluster step limit exceeded (livelock?)")
         replica.step()
 
-    def _advance_fleet_to(self, t: float) -> None:
+    def _advance_fleet_to(self, t: float, role: Optional[str] = None) -> None:
         for replica in self.replicas:
-            if replica.crashed:
+            if replica.crashed or (role is not None and replica.role != role):
                 continue  # a down replica holds no work and does not step
-            while replica.busy and replica.clock < t:
+            while (
+                replica.busy
+                and replica.clock < t
+                and not replica.engine.migration_blocked
+            ):
                 self._step_replica(replica)
+            if replica.engine.migration_blocked and replica.clock < t:
+                # Admission is wedged behind KV pinned by in-flight
+                # handoffs: only a cluster event can free it, so jump the
+                # clock instead of burning 1e-6 s idle steps up to ``t``.
+                replica.engine.clock = t
             replica.advance_to(t)
 
     def _autoscale(self, now: float) -> None:
+        if self.config.disagg is not None:
+            self._autoscale_pool(now, "prefill", self.prefill_autoscaler)
+            self._autoscale_pool(now, "decode", self.decode_autoscaler)
+            return
         if self.autoscaler is None:
             return
         active = self.active_replicas
@@ -225,7 +342,9 @@ class ClusterSimulator:
                 "scale_up", f"n={len(self.active_replicas)}", time=now
             )
         elif decision == "down":
-            victim = Autoscaler.pick_victim(active)
+            victim = self.autoscaler.pick_victim(active)
+            if victim is None:
+                return  # every candidate is warm-cache-vetoed
             victim.draining = True
             self.scale_events.append(
                 ScaleEvent(time=now, action="down", n_active=len(self.active_replicas))
@@ -234,6 +353,38 @@ class ClusterSimulator:
                 "scale_down",
                 f"replica{victim.replica_id}:n={len(self.active_replicas)}",
                 time=now,
+            )
+
+    def _autoscale_pool(
+        self, now: float, role: str, autoscaler: Optional[Autoscaler]
+    ) -> None:
+        """One pool's independent scaling decision (disaggregated mode)."""
+        if autoscaler is None:
+            return
+        pool = self._pool(role)
+        decision = autoscaler.decide(now, pool)
+        if decision == "up":
+            replica = self._new_replica(len(self.replicas), role=role)
+            replica.started_at = now
+            replica.advance_to(now)
+            self.replicas.append(replica)
+            self.peak_replicas = max(self.peak_replicas, len(self.active_replicas))
+            n = len(self._pool(role))
+            self.scale_events.append(
+                ScaleEvent(time=now, action="up", n_active=n, pool=role)
+            )
+            self.kernel.mark("scale_up", f"{role}:n={n}", time=now)
+        elif decision == "down":
+            victim = autoscaler.pick_victim(pool)
+            if victim is None:
+                return  # every candidate holds warm cache; skip this round
+            victim.draining = True
+            n = len(self._pool(role))
+            self.scale_events.append(
+                ScaleEvent(time=now, action="down", n_active=n, pool=role)
+            )
+            self.kernel.mark(
+                "scale_down", f"{role}:replica{victim.replica_id}:n={n}", time=now
             )
 
     # -- event plumbing ------------------------------------------------------
@@ -267,7 +418,11 @@ class ClusterSimulator:
         dispatch should proceed now (DEFER re-enters the event kernel)."""
         if self.admission is None or record.retries > 0:
             return True
-        targets = self.active_replicas
+        targets = (
+            self._pool("prefill")
+            if self.config.disagg is not None
+            else self.active_replicas
+        )
         if not targets:
             # Fleet-down handling (park + retry) owns this case; admission
             # re-evaluates when the record is re-offered after recovery.
@@ -290,9 +445,15 @@ class ClusterSimulator:
     def _dispatch(self, record: RequestRecord, now: float) -> None:
         if not self._cluster_admit(record, now):
             return
-        targets = self.active_replicas
+        # Disaggregated fleets prefill everything in the prefill pool —
+        # including fault re-dispatches, whose KV died with their source.
+        targets = (
+            self._pool("prefill")
+            if self.config.disagg is not None
+            else self.active_replicas
+        )
         if not targets:
-            # Whole fleet is down/draining: park until the first recovery.
+            # Whole fleet (pool) is down/draining: park until recovery.
             downed = [r for r in self.replicas if r.crashed]
             if not downed:
                 raise RuntimeError("no replica can ever accept work (all draining)")
@@ -347,6 +508,9 @@ class ClusterSimulator:
         record.reset_for_retry()
         rid = record.request.request_id
         self._location.pop(rid, None)
+        # A transfer in flight for this request is moot now — its source
+        # KV is gone (crash) or the request left the replica (timeout).
+        self._abort_migration(rid)
         # The deadline armed for the dispatch this request just lost can
         # never matter again — cancel it instead of letting it fire stale.
         deadline = self._timeout_events.pop(rid, None)
@@ -375,6 +539,23 @@ class ClusterSimulator:
                 now + event.duration_s, "recover", victim,
                 label=f"replica{victim.replica_id}",
             )
+            # Destination crash mid-transfer: the in-flight handoff can
+            # never land — cancel it and re-route from the (intact)
+            # source.  Source crashes are covered by the eviction loop
+            # below (the pinned KV died with the box: full re-prefill).
+            for rid, ev in list(self._inflight.items()):
+                if ev.kind != "migrate_arrive" or not ev.live:
+                    continue
+                rec, source, target, _corrupt = ev.payload
+                if target is not victim:
+                    continue
+                self.kernel.cancel(ev)
+                del self._inflight[rid]
+                self.kernel.mark(
+                    "migrate_reroute", f"r{rid}:replica{victim.replica_id}",
+                    time=now,
+                )
+                self._retry_migration(rec, source, now)
             for record in evicted:
                 self._retry_or_fail(record, now)
         elif event.kind == "stall":
@@ -383,6 +564,14 @@ class ClusterSimulator:
             self._push(
                 now + event.duration_s, "stall_end", victim,
                 label=f"replica{victim.replica_id}",
+            )
+        elif event.kind == "link_stall":
+            # Congestion on the migration link: transfers *started* while
+            # any stall is active are stretched by the slowdown.
+            self.fault_counters.link_stalls += 1
+            self._active_link_stalls += 1
+            self._push(
+                now + event.duration_s, "link_stall_end", None, label="link"
             )
         else:  # pragma: no cover - schedule generation only emits the above
             raise ValueError(f"unknown fault kind {event.kind!r}")
@@ -416,6 +605,195 @@ class ClusterSimulator:
         self.fault_counters.timeouts += 1
         self._retry_or_fail(record, now)
 
+    # -- KV migration (disaggregated mode; see repro.migrate) ----------------
+    @property
+    def _link_slowdown(self) -> float:
+        """Transfer-time multiplier while link-congestion stalls are live."""
+        if self._active_link_stalls > 0 and self.config.faults is not None:
+            return self.config.faults.link_stall_slowdown
+        return 1.0
+
+    @property
+    def _migration_budget(self) -> int:
+        faults = self.config.faults
+        return faults.max_migration_retries if faults is not None else 2
+
+    def _migration_backoff(self, retries: int) -> float:
+        faults = self.config.faults
+        if faults is not None:
+            return faults.backoff(retries)
+        # Clean runs still retry (e.g. no decode target yet): use the
+        # fault model's default capped-exponential shape.
+        return min(0.5 * 2.0 ** (retries - 1), 8.0)
+
+    def _abort_migration(self, rid: int) -> None:
+        """Revoke the in-flight transfer/retry for one request, if any."""
+        ev = self._inflight.pop(rid, None)
+        if ev is not None:
+            self.kernel.cancel(ev)
+
+    def _collect_handoffs(self, now: float) -> None:
+        """Turn newly prefill-complete requests into migration events.
+
+        Called after every handled cluster event and each drain round;
+        a no-op for unified fleets.  The transfer starts no earlier than
+        the engine-reported prefill completion and no earlier than the
+        kernel's clock (the fleet-sync staleness every dispatch has).
+        """
+        if self.config.disagg is None:
+            return
+        for replica in self.replicas:
+            if replica.role != "prefill" or replica.crashed:
+                continue
+            for record in replica.engine.take_handoffs():
+                start = max(record.prefill_done_at, now, self.kernel.now)
+                self._begin_migration(record, replica, start)
+
+    def _begin_migration(
+        self, record: RequestRecord, source: Replica, now: float
+    ) -> None:
+        """Ship one request's KV toward a decode replica.
+
+        Charges the width-dependent wire cost (a 4-bit cache migrates
+        ~4x cheaper than FP16), rolls the seeded per-attempt fault
+        outcome, and schedules the arrival as a cancellable kernel event.
+        """
+        rid = record.request.request_id
+        attempt = record.migration_retries
+        targets = self._pool("decode")
+        if self.config.breaker is not None and targets:
+            allowed = [r for r in targets if self._breaker_for(r).allows(now)]
+            if allowed:
+                targets = allowed
+        if not targets:
+            self.kernel.mark("migrate_reroute", f"r{rid}:no_target", time=now)
+            self._retry_migration(record, source, now)
+            return
+        target = self.decode_router.choose(record.request, targets)
+        kv_bits = (
+            record.kv_bits if record.kv_bits is not None else self.method.kv_bits
+        )
+        nbytes = kv_wire_bytes(self.model, record.request.prompt_len, kv_bits)
+        transfer = self.gpu.transfer_time(nbytes) * self._link_slowdown
+        # Wire bytes are spent whether or not the transfer lands.
+        record.migrated_bytes += nbytes
+        self.kernel.mark(
+            "migrate_send", f"r{rid}->replica{target.replica_id}", time=now
+        )
+        roll = (
+            self._injector.migration_roll(rid, attempt)
+            if self._injector is not None
+            else "ok"
+        )
+        if roll == "drop":
+            self.fault_counters.migration_drops += 1
+            self.kernel.mark("migrate_drop", f"r{rid}#{attempt}", time=now)
+            self._retry_migration(record, source, now + transfer)
+            return
+        ev = self._push(
+            now + transfer, "migrate_arrive",
+            (record, source, target, roll == "corrupt"),
+            label=f"r{rid}->replica{target.replica_id}",
+        )
+        self._inflight[rid] = ev
+
+    def _retry_migration(
+        self, record: RequestRecord, source: Replica, now: float
+    ) -> None:
+        """Re-send after capped backoff; the budget check runs at fire
+        time so a late local-fallback decision sees the current fleet."""
+        rid = record.request.request_id
+        record.migration_retries += 1
+        ev = self._push(
+            now + self._migration_backoff(record.migration_retries),
+            "migrate_retry", (record, source),
+            label=f"r{rid}:retry{record.migration_retries}",
+        )
+        self._inflight[rid] = ev
+
+    def _handle_migrate_retry(self, fired: Event, now: float) -> None:
+        record, source = fired.payload
+        rid = record.request.request_id
+        if self._inflight.get(rid) is not fired:
+            return  # superseded (re-routed, evicted, or timed out)
+        del self._inflight[rid]
+        if rid not in source.engine.migrating:
+            return  # the source lost the request meanwhile (crash/timeout)
+        if record.migration_retries > self._migration_budget:
+            # Budget exhausted: degrade to decoding on the prefill
+            # replica — the KV is already resident there.  Slower for
+            # the pool, terminal-never-lost for the request.
+            source.engine.resume_local_decode(rid)
+            self.kernel.mark("local_fallback", f"r{rid}", time=now)
+            return
+        self._begin_migration(record, source, now)
+
+    def _handle_migrate_arrive(self, fired: Event, now: float) -> None:
+        record, source, target, corrupt = fired.payload
+        rid = record.request.request_id
+        if self._inflight.get(rid) is not fired:
+            return  # superseded by a reroute/abort
+        del self._inflight[rid]
+        if rid not in source.engine.migrating:
+            return  # the source lost the request meanwhile (crash/timeout)
+        if not target.dispatchable:
+            # Destination drained/crashed while the bytes were in flight.
+            self.kernel.mark(
+                "migrate_reroute", f"r{rid}:replica{target.replica_id}", time=now
+            )
+            self._retry_migration(record, source, now)
+            return
+        disagg = self.config.disagg
+        if corrupt:
+            # Run the *real* serialization/checksum/salvage machinery on
+            # a miniature faithful payload: CRC32 detects the flip,
+            # salvage keeps the longest valid block prefix, and the kept
+            # fraction maps back onto prompt tokens — the decode replica
+            # resumes from ``valid`` and re-prefills only [valid, len).
+            self.fault_counters.migration_corruptions += 1
+            cfg = disagg.migration
+            seed = self.config.faults.seed if self.config.faults is not None else 0
+            attempt = record.migration_retries
+            kv_bits = (
+                record.kv_bits if record.kv_bits is not None else self.method.kv_bits
+            )
+            arrays = build_payload(rid, attempt, seed, kv_bits, cfg)
+            damaged = corrupt_payload(arrays, rid, attempt, seed, cfg)
+            outcome = receive_payload(damaged, record.request.prompt_len, cfg)
+            record.prefilled = outcome.valid_tokens
+            record.salvage_recomputed_tokens += outcome.recompute_tokens
+            self.kernel.mark(
+                "migrate_corrupt",
+                f"r{rid}:valid{outcome.valid_tokens}/{record.request.prompt_len}",
+                time=now,
+            )
+        record.status = RequestStatus.WAITING
+        verdict = target.submit_record(record)
+        if verdict is AdmissionVerdict.ACCEPT:
+            source.engine.release_migrated(rid)
+            record.migrations += 1
+            if record.prefill_done_at is not None:
+                record.handoff_latency = now - record.prefill_done_at
+            self._location[rid] = target
+            self.kernel.mark(
+                "handoff_done", f"r{rid}->replica{target.replica_id}", time=now
+            )
+        elif verdict is AdmissionVerdict.DEFER:
+            # Target saturated: KV stays pinned on the source; re-offer
+            # the (already verified) delivery after a wait.
+            record.status = RequestStatus.MIGRATING
+            ev = self._push(
+                now + disagg.migration.defer_retry_s, "migrate_arrive",
+                (record, source, target, False), label=f"r{rid}:defer",
+            )
+            self._inflight[rid] = ev
+        else:  # REJECT — terminal inside the target's records
+            source.engine.release_migrated(rid)
+            self._location.pop(rid, None)
+            deadline = self._timeout_events.pop(rid, None)
+            if deadline is not None:
+                self.kernel.cancel(deadline)
+
     # -- simulation ----------------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ClusterMetrics:
         arrivals = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
@@ -424,38 +802,86 @@ class ClusterSimulator:
                 request.arrival_time, "arrival", request,
                 label=f"r{request.request_id}",
             )
-        if self.config.faults is not None and arrivals:
+        if self._injector is not None and arrivals:
             horizon = arrivals[-1].arrival_time + self.config.faults.horizon_pad_s
-            for event in FaultInjector(self.config.faults).schedule(horizon):
+            for event in self._injector.schedule(horizon):
                 self._push(
                     event.time, "fault", event,
                     label=f"{event.kind}#{event.salt}",
                 )
 
-        while (fired := self.kernel.pop()) is not None:
-            t, kind, payload = fired.time, fired.kind, fired.payload
-            self._advance_fleet_to(t)
-            self._autoscale(t)
-            if kind == "arrival":
-                self._dispatch(RequestRecord(request=payload), t)
-            elif kind == "redispatch":
-                self._dispatch(payload, t)
-            elif kind == "fault":
-                self._apply_fault(payload, t)
-            elif kind == "recover":
-                payload.recover(t)
-            elif kind == "stall_end":
-                payload.clear_stall()
-            elif kind == "timeout":
-                self._handle_timeout(payload, t)
-
-        # Drain: run every surviving replica to completion.  A replica
-        # still down here lost its work to _retry_or_fail already.
-        for replica in self.replicas:
-            if replica.crashed:
+        # Event loop and drain are one cycle: handling an event (or a
+        # drain round) can surface prefill-complete requests whose
+        # migrations schedule *new* kernel events, so neither phase is
+        # ever finally "done" until both are quiet.  For unified fleets
+        # this reduces exactly to the classic pop-all-then-drain order
+        # (no handoffs exist, and popping an empty kernel emits nothing),
+        # keeping golden cluster traces byte-identical.
+        while True:
+            if self.config.disagg is not None:
+                # Pull prefill replicas forward *before* popping: prompts
+                # that complete between cluster events must start their
+                # transfer at the true prefill-completion time (which is
+                # still >= kernel.now pre-pop), not at the next event's
+                # time — otherwise every handoff pays event-granularity
+                # latency.  The scheduled arrival may land before the
+                # event we were about to pop; the heap sorts that out.
+                t_next = self.kernel.next_time
+                if t_next is not None:
+                    self._advance_fleet_to(t_next, role="prefill")
+                    self._collect_handoffs(self.kernel.now)
+            fired = self.kernel.pop()
+            if fired is not None:
+                t, kind, payload = fired.time, fired.kind, fired.payload
+                self._advance_fleet_to(t)
+                self._autoscale(t)
+                if kind == "arrival":
+                    self._dispatch(RequestRecord(request=payload), t)
+                elif kind == "redispatch":
+                    self._dispatch(payload, t)
+                elif kind == "fault":
+                    self._apply_fault(payload, t)
+                elif kind == "recover":
+                    payload.recover(t)
+                elif kind == "stall_end":
+                    payload.clear_stall()
+                elif kind == "timeout":
+                    self._handle_timeout(payload, t)
+                elif kind == "link_stall_end":
+                    self._active_link_stalls -= 1
+                elif kind == "migrate_arrive":
+                    self._handle_migrate_arrive(fired, t)
+                elif kind == "migrate_retry":
+                    self._handle_migrate_retry(fired, t)
+                self._collect_handoffs(t)
                 continue
-            while replica.busy:
-                self._step_replica(replica)
+            # Drain round: run surviving replicas to completion.  A
+            # replica still down here lost its work to _retry_or_fail
+            # already.  Prefill engines park finished prompts in
+            # ``migrating`` (not busy), so the round stops early at each
+            # fresh handoff and the collect below ships it.
+            progressed = False
+            if self.config.disagg is not None:
+                # Disaggregated drain interleaves the pools one step at a
+                # time so late handoffs deliver while decode replicas are
+                # still near the handoff clock, not after they finished
+                # their whole resident batch.
+                for replica in self.replicas:
+                    if replica.crashed:
+                        continue
+                    if replica.busy and not replica.engine.migration_blocked:
+                        self._step_replica(replica)
+                        progressed = True
+            else:
+                for replica in self.replicas:
+                    if replica.crashed:
+                        continue
+                    while replica.busy:
+                        self._step_replica(replica)
+                        progressed = True
+            self._collect_handoffs(self.kernel.now)
+            if self.kernel.empty and not progressed:
+                break
 
         worked = [r for r in self.replicas if r.records]
         makespan = max((r.clock for r in worked), default=0.0)

@@ -14,6 +14,7 @@ import time
 from repro.harness import (
     ablations,
     cluster,
+    disagg,
     faults,
     guard,
     needle,
@@ -51,6 +52,7 @@ RUNNERS = {
     "serving": serving_sim,
     "cluster": cluster,
     "faults": faults,
+    "disagg": disagg,
     "overload": overload,
     "prefix": prefix,
     "guard": guard,

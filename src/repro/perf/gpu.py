@@ -85,6 +85,20 @@ class GPUSpec:
         mem = self.memory_time(counts)
         return max(compute, mem) + counts.kernel_launches * self.kernel_overhead_us * 1e-6
 
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to ship ``nbytes`` point-to-point over one link.
+
+        The KV-migration cost model for disaggregated prefill/decode
+        fleets: one bandwidth term at the derated link rate plus one
+        fixed launch/sync latency.  Zero-size transfers cost zero (no
+        message, no launch), and the cost is strictly monotone in bytes
+        above that — properties the test suite pins.
+        """
+        if nbytes <= 0:
+            return 0.0
+        bw = self.link_bandwidth_gbps * 1e9 * self.link_efficiency
+        return nbytes / bw + self.link_latency_us * 1e-6
+
     def allreduce_time(self, nbytes: float, ranks: int) -> float:
         """Seconds for a ring all-reduce of ``nbytes`` across ``ranks`` peers.
 

@@ -89,6 +89,10 @@ ENGINE_EVENT_ORDER = {
     "finish": 17,
     "cancel": 18,
     "evict": 19,
+    # disaggregated prefill/decode handoff marks (see repro.migrate)
+    "prefill_ready": 20,
+    "migrate_out": 21,
+    "local_decode": 22,
 }
 
 
@@ -135,6 +139,12 @@ class EngineConfig:
     #: skip the cached span's prefill, and copy-on-write on divergence.
     #: ``None`` keeps every block private (the pre-prefix behaviour).
     prefix: Optional[PrefixCacheConfig] = None
+    #: Disaggregated prefill pool member: requests stop at prefill
+    #: completion and park in :attr:`ServingEngine.migrating` (KV pinned)
+    #: until the cluster ships them to a decode replica — except requests
+    #: flagged ``local_decode``, which decode here as the degraded
+    #: fallback when the migration budget runs out.
+    prefill_only: bool = False
 
     def __post_init__(self) -> None:
         if self.deadline_shed and self.slo is None:
@@ -254,6 +264,12 @@ class ServingEngine:
         self.records: Dict[int, RequestRecord] = {}
         self.waiting: Deque[int] = deque()
         self.running: List[int] = []  # admission order (preemption pops the tail)
+        #: Prefill-complete requests whose KV stays pinned here while the
+        #: cluster migrates them to a decode replica (prefill_only mode).
+        self.migrating: Dict[int, RequestRecord] = {}
+        #: Newly prefill-complete request ids the cluster has not yet
+        #: collected via :meth:`take_handoffs` (FIFO).
+        self.handoff_ready: List[int] = []
         self.clock = 0.0
         self.iterations = 0
         self.peak_running = 0
@@ -377,6 +393,9 @@ class ServingEngine:
             self.running.remove(request_id)
         if request_id in self.waiting:
             self.waiting.remove(request_id)
+        self.migrating.pop(request_id, None)
+        if request_id in self.handoff_ready:
+            self.handoff_ready.remove(request_id)
         self._mark("cancel", f"r{request_id}")
         return self.records.pop(request_id)
 
@@ -388,18 +407,83 @@ class ServingEngine:
         oldest admission first, for the caller to re-dispatch.
         """
         evicted: List[RequestRecord] = []
-        for rid in list(self.running) + list(self.waiting):
+        for rid in list(self.running) + list(self.waiting) + list(self.migrating):
             self._release_request(rid)
             evicted.append(self.records.pop(rid))
             self._mark("evict", f"r{rid}")
         self.running.clear()
         self.waiting.clear()
+        self.migrating.clear()
+        self.handoff_ready.clear()
         return evicted
 
     @property
     def busy(self) -> bool:
-        """Does the engine have admitted or queued work?"""
+        """Does the engine have admitted or queued work?
+
+        MIGRATING requests are deliberately excluded: their next
+        transition is a *cluster* event (the transfer arriving), not an
+        engine step, so an engine holding only pinned handoffs is idle.
+        """
         return bool(self.running or self.waiting)
+
+    # -- disaggregated handoff API (prefill_only mode; see repro.migrate) -----
+    def take_handoffs(self) -> List[RequestRecord]:
+        """Drain newly prefill-complete requests for the cluster to ship.
+
+        The records stay registered here — KV pinned, status MIGRATING —
+        until :meth:`release_migrated` (handoff accepted or abandoned) or
+        :meth:`resume_local_decode` resolves them.
+        """
+        ready = [self.records[rid] for rid in self.handoff_ready]
+        self.handoff_ready.clear()
+        return ready
+
+    def release_migrated(self, request_id: int) -> RequestRecord:
+        """Unpin a migrated-out request: free its KV, drop its record.
+
+        Called when the destination accepted the handoff (the request
+        lives there now) or terminally refused it (the cluster owns the
+        record either way).
+        """
+        rec = self.migrating.pop(request_id)
+        self._release_request(request_id)
+        self._mark("migrate_out", f"r{request_id}")
+        return self.records.pop(request_id)
+
+    def resume_local_decode(self, request_id: int) -> RequestRecord:
+        """Degraded fallback: decode a pinned request on this replica.
+
+        The migration budget ran out (or no decode replica exists); the
+        prefilled KV is already resident, so the request re-enters the
+        running batch directly — slower than a decode-pool replica, but
+        never lost.
+        """
+        rec = self.migrating.pop(request_id)
+        rec.local_decode = True
+        rec.status = RequestStatus.RUNNING
+        self.running.append(request_id)
+        self._mark("local_decode", f"r{request_id}")
+        return rec
+
+    @property
+    def migration_blocked(self) -> bool:
+        """Is admission wedged behind KV pinned by in-flight handoffs?
+
+        True when nothing is running, handoffs hold blocks, and the head
+        of the queue cannot allocate its prompt.  The engine cannot make
+        progress by stepping (each step would burn the idle guard's
+        1e-6 s); only a cluster event (the handoff resolving) frees it,
+        so the fleet driver idle-jumps this replica instead of spinning.
+        """
+        if self.running or not self.migrating or not self.waiting:
+            return False
+        rid = self.waiting[0]
+        rec = self.records[rid]
+        need = self.allocator.blocks_needed(
+            rid, rec.request.prompt_len, self._bytes_scale(rec)
+        )
+        return need > self.allocator.free_blocks
 
     def advance_to(self, t: float) -> None:
         """Idle-jump the clock forward (never backward)."""
@@ -561,11 +645,14 @@ class ServingEngine:
             if acq is not None:
                 rec.shared_tokens = acq.shared_tokens
                 rec.shared_tail_tokens = acq.tail_tokens
-                rec.prefilled = acq.hit_tokens
+                rec.prefilled = max(rec.prefilled, acq.hit_tokens)
                 rec.prefix_hit_tokens += acq.hit_tokens
                 rec.prefix_lookup_tokens += rec.request.prompt_len
-                if rec.prefilled >= rec.request.prompt_len:
-                    rec.status = RequestStatus.RUNNING
+            if rec.prefilled >= rec.request.prompt_len:
+                # Nothing left to prefill — a full prefix-cache hit, or a
+                # migrated-in handoff whose KV arrived intact: straight
+                # to decode.
+                rec.status = RequestStatus.RUNNING
             running.append(rid)
             self._mark("admit", f"r{rid}")
         self.peak_running = max(self.peak_running, len(running))
@@ -603,6 +690,15 @@ class ServingEngine:
             if rec.prefilled >= rec.request.prompt_len:
                 rec.status = RequestStatus.RUNNING
 
+        # Disaggregated prefill pool: prefill-complete requests park for
+        # migration instead of decoding here.  Local-decode fallbacks are
+        # the exception — their migration budget already ran out.
+        if self.config.prefill_only:
+            for rid in running:
+                rec = records[rid]
+                if rec.status is RequestStatus.RUNNING and not rec.local_decode:
+                    rec.status = RequestStatus.MIGRATING
+
         # Batched decode for fully-prefilled requests.  The batch's cost
         # uses its mean admitted KV width — browned-out requests read
         # fewer cache bytes per step, so a degraded batch decodes faster.
@@ -625,6 +721,20 @@ class ServingEngine:
             step_time = 1e-6
         step_time *= self.time_scale
         self.clock += step_time
+
+        # Hand prefill-complete requests to the cluster once their
+        # prefill cost has been charged to the clock: KV stays pinned in
+        # ``migrating``; the cluster collects them via take_handoffs().
+        if self.config.prefill_only:
+            for rid in [
+                r for r in running if records[r].status is RequestStatus.MIGRATING
+            ]:
+                rec = records[rid]
+                rec.prefill_done_at = self.clock
+                running.remove(rid)
+                self.migrating[rid] = rec
+                self.handoff_ready.append(rid)
+                self._mark("prefill_ready", f"r{rid}")
 
         # Token bookkeeping + cache growth (with preemption on OOM).
         finished: List[int] = []

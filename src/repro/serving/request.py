@@ -13,6 +13,11 @@ class RequestStatus(enum.Enum):
     WAITING = "waiting"
     PREFILLING = "prefilling"  # admitted; prompt partially processed
     RUNNING = "running"
+    #: Prefill finished on a prefill-pool replica; the request's KV blocks
+    #: stay pinned on the source while the handoff to a decode replica is
+    #: in flight (see :mod:`repro.migrate`).  Non-terminal: it resolves to
+    #: decode on the destination, local decode on the source, or a retry.
+    MIGRATING = "migrating"
     FINISHED = "finished"
     #: Terminal failure: the retry budget ran out (crash/timeout recovery
     #: gave up).  Counted against availability, never against goodput.
@@ -123,6 +128,28 @@ class RequestRecord:
     prefix_lookup_tokens: int = 0
     #: Copy-on-write block copies performed on behalf of this request.
     cow_copies: int = 0
+    # -- disaggregated prefill/decode migration (repro.migrate) --------------
+    #: Completed prefill→decode handoffs (the KV crossed the link and the
+    #: decode replica accepted it).
+    migrations: int = 0
+    #: Migration attempts that had to be re-issued: dropped transfers,
+    #: destination crashes/drains mid-flight, and no-target waits.  Bounded
+    #: by the per-request migration budget (``max_migration_retries``).
+    migration_retries: int = 0
+    #: Wire bytes actually shipped on the inter-pool link for this request,
+    #: including bytes wasted by dropped/corrupted transfers.
+    migrated_bytes: float = 0.0
+    #: Prompt tokens re-prefilled on the decode replica because a corrupted
+    #: handoff salvaged only a prefix of the serialized KV state.
+    salvage_recomputed_tokens: int = 0
+    #: The migration budget ran out (or migration was impossible) and the
+    #: request decoded on its prefill replica instead — slower, never lost.
+    local_decode: bool = False
+    #: Latency of the successful handoff: prefill completion → decode-
+    #: replica acceptance (transfer + retries + defer waits).
+    handoff_latency: Optional[float] = None
+    #: Engine clock at which prefill completed on the source replica.
+    prefill_done_at: Optional[float] = None
     #: Time the request was rejected/shed (terminal overload outcomes).
     rejected_at: Optional[float] = None
     shed_at: Optional[float] = None
@@ -164,6 +191,7 @@ class RequestRecord:
         self.first_token_at = None
         self.shared_tokens = 0
         self.shared_tail_tokens = 0
+        self.prefill_done_at = None
         self.preemptions += 1
 
     def reset_for_retry(self) -> None:
@@ -178,6 +206,7 @@ class RequestRecord:
         self.first_token_at = None
         self.shared_tokens = 0
         self.shared_tail_tokens = 0
+        self.prefill_done_at = None
         self.retries += 1
 
     def mark_failed(self, now: float) -> None:

@@ -105,7 +105,7 @@ class TestTaskEdges:
     def test_request_status_enum_complete(self):
         assert {s.value for s in RequestStatus} == {
             "waiting", "prefilling", "running", "finished", "failed",
-            "rejected", "shed",
+            "rejected", "shed", "migrating",
         }
 
 

@@ -20,7 +20,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterConfig, ClusterSimulator, FaultConfig
+from repro.cluster import ClusterConfig, ClusterSimulator, DisaggConfig, FaultConfig
 from repro.perf.attention_costs import METHODS
 from repro.perf.e2e import ModelGeometry
 from repro.serving import ServingEngine, poisson_workload
@@ -38,11 +38,24 @@ from repro.sim.replay import diff_trace_files, trace_diff_main
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 GOLDEN_ENGINE = os.path.join(FIXTURES, "golden_engine_trace.jsonl.gz")
 GOLDEN_CLUSTER = os.path.join(FIXTURES, "golden_cluster_trace.jsonl.gz")
+GOLDEN_DISAGG = os.path.join(FIXTURES, "golden_disagg_trace.jsonl.gz")
 
 GOLDEN_FAULTS = FaultConfig(
     seed=5, crash_rate=0.05, stall_rate=0.05,
     crash_downtime_s=6.0, stall_duration_s=4.0, stall_slowdown=3.0,
     request_timeout_s=30.0, max_retries=2, horizon_pad_s=10.0,
+)
+
+#: Migration-fault-heavy schedule for the disaggregated fixture: drops,
+#: corruption, and link congestion all fire into a 1P+1D fleet.
+GOLDEN_DISAGG_FAULTS = FaultConfig(
+    seed=5, crash_rate=0.02, stall_rate=0.02,
+    crash_downtime_s=6.0, stall_duration_s=4.0, stall_slowdown=3.0,
+    request_timeout_s=60.0, max_retries=2,
+    migration_drop_rate=0.2, migration_corrupt_rate=0.2,
+    max_migration_retries=2, link_stall_rate=0.05,
+    link_stall_duration_s=5.0, link_stall_slowdown=4.0,
+    horizon_pad_s=10.0,
 )
 
 
@@ -72,14 +85,30 @@ def build_golden_cluster_records():
     return sink.records
 
 
+def build_golden_disagg_records():
+    sink = ListTraceSink()
+    model = ModelGeometry.phi3_medium()
+    ClusterSimulator(
+        model,
+        METHODS["turbo4"],
+        ClusterConfig(
+            n_replicas=2, policy="least_kv", faults=GOLDEN_DISAGG_FAULTS,
+            disagg=DisaggConfig(n_prefill=1, n_decode=1),
+        ),
+        trace=sink,
+    ).run(_golden_workload())
+    return sink.records
+
+
 class TestGoldenTraces:
     @pytest.mark.parametrize(
         "path,builder",
         [
             (GOLDEN_ENGINE, build_golden_engine_records),
             (GOLDEN_CLUSTER, build_golden_cluster_records),
+            (GOLDEN_DISAGG, build_golden_disagg_records),
         ],
-        ids=["engine", "cluster"],
+        ids=["engine", "cluster", "disagg"],
     )
     def test_replay_matches_golden_with_zero_divergence(self, path, builder):
         golden = read_trace(path)
@@ -93,6 +122,13 @@ class TestGoldenTraces:
         """The fixture is non-vacuous: faults actually fired into it."""
         kinds = {r["ev"] for r in read_trace(GOLDEN_CLUSTER)}
         assert "fault" in kinds and "arrival" in kinds
+
+    def test_golden_disagg_exercises_the_migration_machinery(self):
+        """The disagg fixture is non-vacuous: handoffs happened and at
+        least one migration fault outcome is pinned into the bytes."""
+        kinds = {r["ev"] for r in read_trace(GOLDEN_DISAGG)}
+        assert {"migrate_send", "handoff_done", "prefill_ready"} <= kinds
+        assert kinds & {"migrate_drop", "migrate_corrupt", "migrate_retry"}
 
 
 class TestDiffReporting:
@@ -173,6 +209,7 @@ def regenerate() -> None:  # pragma: no cover - maintenance entry point
     for path, builder in (
         (GOLDEN_ENGINE, build_golden_engine_records),
         (GOLDEN_CLUSTER, build_golden_cluster_records),
+        (GOLDEN_DISAGG, build_golden_disagg_records),
     ):
         records = builder()
         with JsonlTraceSink(path) as sink:
