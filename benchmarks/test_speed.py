@@ -1,0 +1,60 @@
+"""Speed-trajectory benchmark (the perf numbers this repo promises).
+
+Runs the four pinned scenarios of :mod:`repro.perf.speed` at full size
+and writes ``BENCH_speed.json`` next to the repo root: kernel wall per
+token, simulated requests per wall-second for the single engine and the
+cluster, and the speedups over the recorded pre-vectorization loop
+implementation (:data:`repro.perf.speed.PRE_PR`).
+
+The headline assertion is the cluster one: the batched decode path must
+deliver at least 5x the pre-PR simulated-requests-per-wall-second on
+the long-generation fleet scenario, after normalizing both sides by the
+machine probe.
+"""
+
+import json
+from pathlib import Path
+
+from repro.perf import speed
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
+
+
+def test_speed_trajectory(benchmark, once):
+    results = once(benchmark, speed.run_speed_suite, False)
+
+    # Normalize the recorded pre-PR numbers to this machine via the
+    # probe ratio before claiming speedups.
+    scale = results["calibration_s"] / speed.PRE_PR["calibration_s"]
+    speedups = {
+        "prefill": speed.PRE_PR["prefill_s"] * scale / results["prefill_s"],
+        "decode": speed.PRE_PR["decode_s"] * scale / results["decode_s"],
+        "engine": results["engine_rps"] * scale / speed.PRE_PR["engine_rps"],
+        "cluster": results["cluster_rps"] * scale / speed.PRE_PR["cluster_rps"],
+    }
+
+    # Headline: >=5x simulated requests/wall-second on the cluster
+    # scenario vs the pre-PR per-step loop.  The kernels must also have
+    # moved, not just the simulator bookkeeping.
+    assert speedups["cluster"] >= 5.0, speedups
+    assert speedups["prefill"] >= 1.5, speedups
+    assert speedups["decode"] >= 2.0, speedups
+    assert speedups["engine"] >= 1.5, speedups
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "calibration_s": round(results["calibration_s"], 4),
+                "prefill_s": round(results["prefill_s"], 4),
+                "prefill_us_per_token": round(results["prefill_us_per_token"], 2),
+                "decode_s": round(results["decode_s"], 4),
+                "decode_ms_per_token": round(results["decode_ms_per_token"], 4),
+                "engine_rps": round(results["engine_rps"], 1),
+                "cluster_rps": round(results["cluster_rps"], 1),
+                "pre_pr": speed.PRE_PR,
+                "speedup_vs_pre_pr": {k: round(v, 2) for k, v in speedups.items()},
+            },
+            indent=2,
+        )
+        + "\n"
+    )

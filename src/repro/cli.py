@@ -12,6 +12,8 @@
     python -m repro overload --quick
     python -m repro prefix  --quick
     python -m repro harness table2 fig6 --quick
+    python -m repro speed   --check --quick
+    python -m repro profile cluster
 
 Everything the CLI prints is produced by the same library calls the tests
 and benchmarks exercise; the CLI adds no logic of its own.
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 import numpy as np
@@ -259,6 +262,49 @@ def _cmd_prefix(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_speed(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import speed
+
+    results = speed.run_speed_suite(quick=args.quick)
+    if args.check:
+        baseline = json.loads(args.baseline.read_text())
+        rows, failures = speed.compare_to_baseline(
+            results, baseline, tolerance=args.tolerance
+        )
+        scale = results["calibration_s"] / baseline["calibration_s"]
+        print(speed.format_table(rows, scale))
+        if failures:
+            print(f"perf gate FAILED: {', '.join(failures)} regressed "
+                  f"beyond {args.tolerance:.0%}")
+            return 1
+        print("perf gate OK")
+        return 0
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from repro.perf import speed
+
+    scenarios = {
+        "prefill": lambda: speed.bench_prefill(repeats=1),
+        "decode": lambda: speed.bench_decode(repeats=1),
+        "engine": speed.bench_engine,
+        "cluster": speed.bench_cluster,
+    }
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenarios[args.scenario]()
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
 def _cmd_harness(args: argparse.Namespace) -> int:
     from repro.harness.run_all import main as run_all_main
 
@@ -402,6 +448,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_p.add_argument("--quick", action="store_true")
     p_p.set_defaults(fn=_cmd_prefix)
+
+    p_sp = sub.add_parser(
+        "speed",
+        help="run the pinned speed scenarios (kernels, engine, cluster); "
+             "--check gates against the committed baseline with machine "
+             "normalization",
+    )
+    p_sp.add_argument("--quick", action="store_true", help="CI-sized scenarios")
+    p_sp.add_argument(
+        "--check", action="store_true",
+        help="compare against --baseline; nonzero exit on regression",
+    )
+    p_sp.add_argument(
+        "--baseline", type=Path, default=Path("BENCH_speed_baseline.json"),
+        help="baseline JSON for --check (default: repo-root committed file)",
+    )
+    p_sp.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression after normalization (default 0.25)",
+    )
+    p_sp.set_defaults(fn=_cmd_speed)
+
+    p_pr = sub.add_parser(
+        "profile",
+        help="cProfile one pinned speed scenario, top cumulative functions",
+    )
+    p_pr.add_argument(
+        "scenario", choices=["prefill", "decode", "engine", "cluster"]
+    )
+    p_pr.add_argument("--top", type=int, default=20, help="rows to print")
+    p_pr.set_defaults(fn=_cmd_profile)
 
     p_h = sub.add_parser("harness", help="run table/figure regenerators")
     p_h.add_argument("names", nargs="*", help="subset (default: all)")

@@ -18,7 +18,6 @@ once") are checkable by tests from the same data the operator sees.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,7 +25,7 @@ import numpy as np
 
 # SLO moved to repro.serving.metrics in the overload PR (the engine needs
 # deadlines for deadline-aware shedding); re-exported here unchanged.
-from repro.serving.metrics import NAN, SLO, jain_index
+from repro.serving.metrics import NAN, SLO, jain_index, nan_to_none_dict
 from repro.serving.request import RequestRecord, RequestStatus
 
 __all__ = [
@@ -189,11 +188,7 @@ class ClusterMetrics:
         return max(0.0, 1.0 - self.downtime_s / capacity)
 
     def as_dict(self) -> dict:
-        # NaN (no samples) maps to None: JSON-clean, ``==``-comparable.
-        return {
-            k: (None if isinstance(v, float) and math.isnan(v) else v)
-            for k, v in self._raw_dict().items()
-        }
+        return nan_to_none_dict(self._raw_dict())
 
     def _raw_dict(self) -> dict:
         return {

@@ -303,6 +303,19 @@ class ClusterSimulator:
             raise RuntimeError("cluster step limit exceeded (livelock?)")
         replica.step()
 
+    def _advance_replica(self, replica: Replica, t: Optional[float]) -> None:
+        """One advance quantum: a bulk decode stretch when the engine is in
+        a homogeneous state (see ``ServingEngine.decode_steps``), else one
+        scalar step.  Bulk steps count against ``max_steps`` one-for-one
+        with the scalar steps they replace."""
+        n = replica.engine.decode_steps(t)
+        if n:
+            self._steps += n
+            if self._steps > self.config.max_steps:
+                raise RuntimeError("cluster step limit exceeded (livelock?)")
+        else:
+            self._step_replica(replica)
+
     def _advance_fleet_to(self, t: float, role: Optional[str] = None) -> None:
         for replica in self.replicas:
             if replica.crashed or (role is not None and replica.role != role):
@@ -312,7 +325,7 @@ class ClusterSimulator:
                 and replica.clock < t
                 and not replica.engine.migration_blocked
             ):
-                self._step_replica(replica)
+                self._advance_replica(replica, t)
             if replica.engine.migration_blocked and replica.clock < t:
                 # Admission is wedged behind KV pinned by in-flight
                 # handoffs: only a cluster event can free it, so jump the
@@ -830,8 +843,16 @@ class ClusterSimulator:
                 if t_next is not None:
                     self._advance_fleet_to(t_next, role="prefill")
                     self._collect_handoffs(self.kernel.now)
-            fired = self.kernel.pop()
-            if fired is not None:
+                # The pre-pop pull must re-run between events, so disagg
+                # fleets pop one at a time; unified fleets drain the whole
+                # same-instant batch without re-entering the outer loop.
+                head = self.kernel.pop()
+                batch = iter(()) if head is None else iter((head,))
+            else:
+                batch = self.kernel.pop_batch()
+            fired_any = False
+            for fired in batch:
+                fired_any = True
                 t, kind, payload = fired.time, fired.kind, fired.payload
                 self._advance_fleet_to(t)
                 self._autoscale(t)
@@ -854,6 +875,7 @@ class ClusterSimulator:
                 elif kind == "migrate_retry":
                     self._handle_migrate_retry(fired, t)
                 self._collect_handoffs(t)
+            if fired_any:
                 continue
             # Drain round: run surviving replicas to completion.  A
             # replica still down here lost its work to _retry_or_fail
@@ -877,7 +899,7 @@ class ClusterSimulator:
                     if replica.crashed:
                         continue
                     while replica.busy:
-                        self._step_replica(replica)
+                        self._advance_replica(replica, None)
                         progressed = True
             self._collect_handoffs(self.kernel.now)
             if self.kernel.empty and not progressed:

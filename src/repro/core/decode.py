@@ -36,16 +36,19 @@ from repro.guard.escalation import PrecisionEscalator
 from repro.guard.numerics import check_finite_tile, check_scale, guarded_int_matmul
 from repro.guard.report import GuardConfig, GuardReport
 from repro.quant.integer_gemm import int_matmul
-from repro.sas.softmax import SAS
+from repro.quant.progressive import pq_decompress_to_int8
+from repro.sas.softmax import shared_sas
 
-__all__ = ["turbo_decode_step", "turbo_decode_step_split_k"]
+__all__ = ["turbo_decode_step", "turbo_decode_steps", "turbo_decode_step_split_k"]
 
 Span = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+_INT32_MAX = np.iinfo(np.int32).max
 
 
 def _exp_fn(config: TurboConfig) -> Callable[[np.ndarray], np.ndarray]:
     if config.use_sas:
-        return SAS(config.sas)
+        return shared_sas(config.sas)
     return lambda x: np.where(np.isfinite(x), np.exp(np.minimum(x, 0.0)), 0.0)
 
 
@@ -74,7 +77,24 @@ def _attend_spans(
 
     Returns the normalized partial output ``(hkv, g, 1, d)`` and its
     logsumexp ``(hkv, g, 1)`` — the mergeable split-K contract.
+
+    The unguarded integer path dispatches to
+    :func:`_attend_spans_batched`, which produces bit-identical results
+    from whole-history GEMMs instead of a per-span loop; the span loop
+    below remains the reference (and the guard/ablation path, which needs
+    per-span scale screening and FP16 MatMuls).
     """
+    if (
+        guard is None
+        and config.quantize_matmuls
+        and len(spans) > 0
+        and qc.shape[-2] == 1
+    ):
+        batched = _attend_spans_batched(
+            spans, qc, q_scale, config, exp, scale, hkv, g, d
+        )
+        if batched is not None:
+            return batched
     mc = config.int8_max_code
 
     def _imatmul(a, b, where):
@@ -122,6 +142,120 @@ def _attend_spans(
     safe_l = np.where(l > 0, l, 1.0)
     out = acc / safe_l[..., None]
     lse = np.where(l > 0, m + np.log(safe_l), -np.inf)
+    return out, lse
+
+
+def _attend_spans_batched(
+    spans: Sequence[Span],
+    qc: np.ndarray,
+    q_scale: np.ndarray,
+    config: TurboConfig,
+    exp: Callable[[np.ndarray], np.ndarray],
+    scale: float,
+    hkv: int,
+    g: int,
+    d: int,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Flattened Algorithm 2 inner loop: one QK GEMM and one segmented PV
+    reduction over the concatenated history, bit-identical to the span
+    loop in :func:`_attend_spans`.
+
+    Why identical: integer GEMM columns are independent, so slicing one
+    concatenated product equals per-span products; ``max`` is exact in
+    any order, so segmented ``maximum.reduceat`` + ``maximum.accumulate``
+    reproduces the running-max trajectory; the exponential and the
+    quantizer are element-wise, so one batched call over the row equals
+    per-span calls; and the ``l``/``acc`` online-softmax folds keep the
+    original per-span recursion (floats are order-sensitive there — each
+    span's probability sum still uses the same pairwise ``.sum`` on the
+    same-length slice).  Returns ``None`` when a worst-case accumulator
+    bound cannot be certified int32-safe — the caller's loop (and its
+    per-span overflow policy) then runs instead.
+    """
+    mc = config.int8_max_code
+    nseg = len(spans)
+    lens = np.array([s[0].shape[-2] for s in spans], dtype=np.int64)
+    starts = np.zeros(nseg, dtype=np.int64)
+    np.cumsum(lens[:-1], out=starts[1:])
+    k_all = np.concatenate([s[0] for s in spans], axis=-2)
+    v_all = np.concatenate([s[1] for s in spans], axis=-2)
+    # The scalar loop's overflow guard triggers per span; bail to it when
+    # the batched bound (which is only ever looser) cannot rule overflow
+    # out, so the policy fires with the scalar path's exact semantics.
+    k_amax = int(np.max(np.abs(k_all), initial=0))
+    v_amax = int(np.max(np.abs(v_all), initial=0))
+    q_amax = int(np.max(np.abs(qc), initial=0))
+    if q_amax * k_amax * d > _INT32_MAX or mc * v_amax * int(lens.max()) > _INT32_MAX:
+        return None
+
+    gemm = int_matmul(qc, np.swapaxes(k_all, -1, -2)[:, None, :, :])
+    qk_scale = q_scale * np.stack(
+        [np.reshape(s[2], (hkv, 1, 1)) for s in spans], axis=-1
+    ).reshape(hkv, 1, 1, nseg)
+    s_row = (np.repeat(qk_scale, lens, axis=-1) * gemm) * scale
+
+    # Segmented max: ``max`` returns one of its inputs, so any grouping is
+    # exact.  Uniform spans (the common case — cache blocks share one
+    # block size) reshape to a dense axis; ragged histories fall back to
+    # reduceat.
+    uniform = bool((lens == lens[0]).all())
+    if uniform:
+        seg_view = s_row.reshape(hkv, g, 1, nseg, int(lens[0]))
+        smax = seg_view.max(axis=-1)
+    else:
+        smax = np.maximum.reduceat(s_row, starts, axis=-1)
+    m_new = np.maximum.accumulate(smax, axis=-1)
+    m_prev = np.concatenate(
+        [np.full((hkv, g, 1, 1), -np.inf), m_new[..., :-1]], axis=-1
+    )
+    with np.errstate(invalid="ignore"):
+        corr_all = exp(m_prev - m_new)
+    corr_all = np.where(np.isfinite(m_prev), corr_all, 0.0)
+    p = exp(s_row - np.repeat(m_new, lens, axis=-1))
+
+    abs_p = np.abs(p)
+    if uniform:
+        seg_absmax = abs_p.reshape(hkv, g, 1, nseg, int(lens[0])).max(axis=-1)
+    else:
+        seg_absmax = np.maximum.reduceat(abs_p, starts, axis=-1)
+    p_absmax = np.maximum(seg_absmax, 1e-12)
+    p_scale = p_absmax / float(mc)
+    pc = np.clip(np.rint(p / np.repeat(p_scale, lens, axis=-1)), -mc, mc).astype(
+        np.int8
+    )
+    # Segmented PV, one integer GEMM per history: the int32 headroom
+    # check above certifies every product and partial sum is an exactly
+    # representable float64 integer, so BLAS dgemm over the codes *is*
+    # the per-span integer GEMM result (see repro.quant.integer_gemm).
+    pcf = pc.astype(np.float64)[:, :, 0, :]
+    vf = v_all.astype(np.float64)
+    if uniform:
+        length = int(lens[0])
+        pv_seg = (
+            pcf.reshape(hkv, g, nseg, 1, length)
+            @ vf.reshape(hkv, nseg, length, d)[:, None, :, :, :]
+        )[:, :, :, 0, :]
+    else:
+        pv_seg = np.empty((hkv, g, nseg, d), dtype=np.float64)
+        for j in range(nseg):
+            sl = slice(starts[j], starts[j] + lens[j])
+            pv_seg[:, :, j, :] = (pcf[:, :, None, sl] @ vf[:, None, sl, :])[
+                :, :, 0, :
+            ]
+
+    l = np.zeros((hkv, g, 1))
+    acc = np.zeros((hkv, g, 1, d))
+    for j in range(nseg):
+        sl = slice(starts[j], starts[j] + lens[j])
+        corr = corr_all[..., j]
+        l = corr * l + p[..., sl].sum(axis=-1)
+        pv = p_scale[..., j : j + 1] * np.reshape(
+            spans[j][3], (hkv, 1, 1, 1)
+        ) * pv_seg[:, :, j : j + 1, :]
+        acc = corr[..., None] * acc + pv
+    safe_l = np.where(l > 0, l, 1.0)
+    out = acc / safe_l[..., None]
+    lse = np.where(l > 0, m_new[..., -1] + np.log(safe_l), -np.inf)
     return out, lse
 
 
@@ -295,6 +429,89 @@ def turbo_decode_step(
         spans, qc, q_scale, config, exp, scale, hkv, g, d, guard, report
     )
     return out.reshape(hq, d)
+
+
+def turbo_decode_steps(
+    qs: np.ndarray,
+    ks: np.ndarray,
+    vs: np.ndarray,
+    cache: QuantizedKVCache,
+    buffer: DecodeBuffer,
+    config: TurboConfig,
+    scale: Optional[float] = None,
+    guard: Optional[GuardConfig] = None,
+    report: Optional[GuardReport] = None,
+    escalator: Optional[PrecisionEscalator] = None,
+) -> np.ndarray:
+    """Decode a run of tokens: bit-exact to calling
+    :func:`turbo_decode_step` once per token, amortizing the per-step
+    fixed costs across the run.
+
+    ``qs``/``ks``/``vs`` have shapes ``(steps, q_heads, head_dim)`` and
+    ``(steps, kv_heads, head_dim)``; the result is ``(steps, q_heads,
+    head_dim)`` with row ``t`` identical to the per-token call (the
+    cache/buffer mutations interleave in the same order).  Two costs
+    collapse: cache blocks are decompressed *once when they first appear*
+    instead of once per step — blocks are immutable after
+    :meth:`~repro.core.kvcache.QuantizedKVCache.append_block`, so the
+    INT8 view never changes — and the SAS callable is resolved once.
+    Guarded runs fall back to the per-token loop: the guard screens every
+    span's scales per step, and that bookkeeping is the semantics.
+    """
+    qs = np.asarray(qs, dtype=np.float64)
+    ks = np.asarray(ks, dtype=np.float64)
+    vs = np.asarray(vs, dtype=np.float64)
+    steps = qs.shape[0]
+    if ks.shape[0] != steps or vs.shape[0] != steps:
+        raise ValueError("qs/ks/vs must carry the same number of tokens")
+    if steps == 0:
+        return np.zeros(qs.shape, dtype=np.float64)
+    if guard is not None:
+        if report is None:
+            report = GuardReport()
+        return np.stack(
+            [
+                turbo_decode_step(
+                    qs[t], ks[t], vs[t], cache, buffer, config,
+                    scale=scale, guard=guard, report=report,
+                    escalator=escalator,
+                )
+                for t in range(steps)
+            ]
+        )
+    exp = _exp_fn(config)
+    cache_spans: List[Span] = [
+        (kc, vc, ksc, vsc) for kc, vc, ksc, vsc, _len in cache.iter_decompressed()
+    ]
+    out = None
+    for t in range(steps):
+        qc, q_scale, scale_t, hq, hkv, g, d, _qf, _fb = _prepare_step(
+            qs[t], ks[t], vs[t], cache, buffer, config, scale,
+            escalator=escalator,
+        )
+        # A flush inside _prepare_step appended new (immutable) blocks;
+        # decompress only those.
+        while len(cache_spans) < len(cache.blocks):
+            block = cache.blocks[len(cache_spans)]
+            cache_spans.append(
+                (
+                    pq_decompress_to_int8(block.k),
+                    pq_decompress_to_int8(block.v),
+                    block.k.float_scale,
+                    block.v.float_scale,
+                )
+            )
+        spans = list(cache_spans)
+        buf_k, buf_v = buffer.codes()
+        if buf_k.shape[-2] > 0:
+            spans.append((buf_k, buf_v, buffer.k_scale, buffer.v_scale))
+        step_out, _lse = _attend_spans(
+            spans, qc, q_scale, config, exp, scale_t, hkv, g, d
+        )
+        if out is None:
+            out = np.empty((steps, hq, d), dtype=np.float64)
+        out[t] = step_out.reshape(hq, d)
+    return out
 
 
 def turbo_decode_step_split_k(

@@ -31,17 +31,32 @@ class OpCounts:
     bytes_written: float = 0.0
     kernel_launches: float = 0.0
 
+    # The algebra is spelled out field-by-field rather than via
+    # ``dataclasses.fields`` reflection: counts are built and scaled on the
+    # serving engine's per-step latency path, where the reflective dict
+    # comprehension was a measured hotspot.  Same arithmetic, same fields.
     def __add__(self, other: "OpCounts") -> "OpCounts":
         return OpCounts(
-            **{
-                f.name: getattr(self, f.name) + getattr(other, f.name)
-                for f in fields(OpCounts)
-            }
+            fp16_tc=self.fp16_tc + other.fp16_tc,
+            int8_tc=self.int8_tc + other.int8_tc,
+            fp32_cuda=self.fp32_cuda + other.fp32_cuda,
+            fp16_cuda=self.fp16_cuda + other.fp16_cuda,
+            int_alu=self.int_alu + other.int_alu,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
         )
 
     def __mul__(self, factor: float) -> "OpCounts":
         return OpCounts(
-            **{f.name: getattr(self, f.name) * factor for f in fields(OpCounts)}
+            fp16_tc=self.fp16_tc * factor,
+            int8_tc=self.int8_tc * factor,
+            fp32_cuda=self.fp32_cuda * factor,
+            fp16_cuda=self.fp16_cuda * factor,
+            int_alu=self.int_alu * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            kernel_launches=self.kernel_launches * factor,
         )
 
     __rmul__ = __mul__

@@ -92,7 +92,12 @@ def int_matmul(
             f"int32 accumulator could overflow: worst case {worst} for "
             f"K={a.shape[-1]}"
         )
-    return a.astype(np.int32) @ b.astype(np.int32)
+    # NumPy routes integer matmul through a naive C loop; float64 matmul
+    # goes through BLAS.  With the worst-case |accumulator| bounded by
+    # int32 (checked above, and far below 2**53), every product and every
+    # partial sum is an exactly representable float64 integer, so the
+    # dgemm result *is* the int32 IMMA result — bit-exact, ~20x faster.
+    return (a.astype(np.float64) @ b.astype(np.float64)).astype(np.int32)
 
 
 def scaled_int_matmul(

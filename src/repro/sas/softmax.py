@@ -15,6 +15,7 @@ scores, so inputs are ``x <= 0``.  SAS computes::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -22,7 +23,7 @@ import numpy as np
 from repro.sas.lut import ExpLUT
 from repro.sas.poly import PAPER_POLY_COEFFS, poly_eval
 
-__all__ = ["SASConfig", "SAS", "sas_exp", "sas_softmax"]
+__all__ = ["SASConfig", "SAS", "shared_sas", "sas_exp", "sas_softmax"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,19 @@ class SAS:
         """Worst-case |SAS(x) - exp(x)| over the active range [n_r, 0]."""
         xs = np.linspace(float(self.config.threshold), 0.0, n_points)
         return float(np.max(np.abs(self(xs) - np.exp(xs))))
+
+
+@lru_cache(maxsize=128)
+def shared_sas(config: SASConfig = SASConfig()) -> SAS:
+    """Process-wide :class:`SAS` instance for a config.
+
+    The instance is immutable after construction (a frozen config plus the
+    precomputed LUT table), so the attention kernels share one per config
+    instead of rebuilding the table every call — the decode loop otherwise
+    pays an :class:`~repro.sas.lut.ExpLUT` construction per generated
+    token.
+    """
+    return SAS(config)
 
 
 def sas_exp(

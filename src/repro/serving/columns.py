@@ -1,0 +1,133 @@
+"""Array-of-struct request bookkeeping for the serving engine.
+
+The engine's decode inner loop touches a handful of per-request fields
+(status, generated count, first-token flag, admitted KV width) for every
+running request on every step.  As plain dataclass attributes those
+reads/writes are pointer-chasing Python; as preallocated NumPy columns
+keyed by a recycled slot index they are single gather/scatter ops over
+the whole batch.
+
+:class:`RequestColumns` owns the columns and the free-list; a bound
+:class:`~repro.serving.request.RequestRecord` stores ``(_cols, _slot)``
+and its hot properties read/write the columns directly (see
+``request.py``), so there is exactly one authoritative copy of each
+field at any time — no mirror to drift out of sync.  Unbinding copies
+the column values back into plain per-record storage, which is how
+records survive leaving an engine (handoff, eviction, terminal states
+read later by metrics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.request import (
+    _STATUS_CODES,
+    RequestRecord,
+)
+
+__all__ = ["RequestColumns"]
+
+_INIT_SLOTS = 64
+
+
+class RequestColumns:
+    """Preallocated per-request state columns with free-list recycling."""
+
+    def __init__(self, capacity: int = _INIT_SLOTS):
+        self.capacity = capacity
+        #: :class:`RequestStatus` codes (index into ``request._STATUS_MEMBERS``).
+        self.status = np.zeros(capacity, dtype=np.int8)
+        self.generated = np.zeros(capacity, dtype=np.int64)
+        self.prefilled = np.zeros(capacity, dtype=np.int64)
+        #: ``first_token_at`` split into a validity flag plus a value so the
+        #: "has the first token landed yet?" test is a plain boolean column.
+        self.first_flag = np.zeros(capacity, dtype=bool)
+        self.first_at = np.zeros(capacity, dtype=np.float64)
+        #: Admitted KV width; NaN encodes ``None`` (not yet assigned).
+        self.kv_bits = np.full(capacity, np.nan, dtype=np.float64)
+        self.shared_tokens = np.zeros(capacity, dtype=np.int64)
+        self.shared_tail_tokens = np.zeros(capacity, dtype=np.int64)
+        # Immutable per-request geometry, copied at bind time so the
+        # decode step can compute ``done`` / ``context_len`` without
+        # touching the Request objects.
+        self.prompt_len = np.zeros(capacity, dtype=np.int64)
+        self.gen_len = np.zeros(capacity, dtype=np.int64)
+        self._free = list(range(capacity - 1, -1, -1))
+
+    def _grow(self) -> None:
+        old = self.capacity
+        self.capacity = old * 2
+        for name in (
+            "status", "generated", "prefilled", "first_flag", "first_at",
+            "kv_bits", "shared_tokens", "shared_tail_tokens",
+            "prompt_len", "gen_len",
+        ):
+            col = getattr(self, name)
+            fresh = np.empty(self.capacity, dtype=col.dtype)
+            fresh[:old] = col
+            setattr(self, name, fresh)
+        self._free.extend(range(self.capacity - 1, old - 1, -1))
+
+    def bind(self, record: RequestRecord) -> int:
+        """Move ``record``'s hot fields into a column slot.
+
+        The record's properties switch to column mode, so every later
+        read/write anywhere in the codebase hits the columns.  A record
+        already bound elsewhere (a handoff arriving from another engine)
+        is unbound from its old columns first — authority moves, values
+        travel with it.
+        """
+        if record._cols is not None:
+            record._cols.unbind(record)
+        if not self._free:
+            self._grow()
+        slot = self._free.pop()
+        # Read the plain values *before* flipping the record to column
+        # mode; afterwards the properties resolve into the columns.
+        status = record.status
+        self.generated[slot] = record.generated
+        self.prefilled[slot] = record.prefilled
+        first = record.first_token_at
+        self.first_flag[slot] = first is not None
+        self.first_at[slot] = first if first is not None else 0.0
+        bits = record.kv_bits
+        self.kv_bits[slot] = np.nan if bits is None else bits
+        self.shared_tokens[slot] = record.shared_tokens
+        self.shared_tail_tokens[slot] = record.shared_tail_tokens
+        self.prompt_len[slot] = record.request.prompt_len
+        self.gen_len[slot] = record.request.gen_len
+        self.status[slot] = _STATUS_CODES[status]
+        record._cols = self
+        record._slot = slot
+        return slot
+
+    def unbind(self, record: RequestRecord) -> None:
+        """Copy column values back to plain storage and recycle the slot.
+
+        No-op when the record is not bound to *these* columns (it may
+        already live in another engine's columns).
+        """
+        if record._cols is not self:
+            return
+        slot = record._slot
+        # Capture through the properties (still column-mode), then flip.
+        status = record.status
+        generated = record.generated
+        prefilled = record.prefilled
+        first = record.first_token_at
+        bits = record.kv_bits
+        shared = record.shared_tokens
+        shared_tail = record.shared_tail_tokens
+        record._cols = None
+        record._slot = -1
+        record.status = status
+        record.generated = generated
+        record.prefilled = prefilled
+        record.first_token_at = first
+        record.kv_bits = bits
+        record.shared_tokens = shared
+        record.shared_tail_tokens = shared_tail
+        self.first_flag[slot] = False
+        self.kv_bits[slot] = np.nan
+        self._free.append(slot)

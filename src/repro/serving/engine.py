@@ -58,15 +58,29 @@ from repro.perf.attention_costs import MethodSpec
 from repro.prefix.pool import PrefixCacheConfig, PrefixPool
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
-from repro.perf.tp import replica_kv_budget, tp_step_latency
+from repro.perf.tp import (
+    decode_step_latency_batch,
+    replica_kv_budget,
+    tp_step_latency,
+)
 from repro.serving.allocator import PagedKVAllocator
+from repro.serving.columns import RequestColumns
 from repro.serving.metrics import SLO, ServingMetrics, summarize
 from repro.serving.request import (
+    _STATUS_CODES,
     Request,
     RequestRecord,
     RequestStatus,
     TERMINAL_STATUSES,
 )
+
+import numpy as np
+
+#: Status codes used by the vectorized step bookkeeping (see
+#: :mod:`repro.serving.columns`).
+_PREFILLING_CODE = _STATUS_CODES[RequestStatus.PREFILLING]
+_RUNNING_CODE = _STATUS_CODES[RequestStatus.RUNNING]
+_FINISHED_CODE = _STATUS_CODES[RequestStatus.FINISHED]
 
 __all__ = ["ENGINE_EVENT_ORDER", "EngineConfig", "ServingEngine"]
 
@@ -189,14 +203,47 @@ class ServingEngine:
         #: injection models stragglers this way).  1.0 = healthy; it is a
         #: hardware condition, not run state, so :meth:`start` keeps it.
         self.time_scale = 1.0
+        # Pure-function caches (see _step_latency); they key only on
+        # quantities the cost model sees, so they survive start() resets.
+        self._latency_cache: Dict[tuple, float] = {}
+        self._method_cache: Dict[float, MethodSpec] = {}
         self.start()
 
     # -- latency helpers ------------------------------------------------------
+    # ``tp_step_latency`` is a pure function of (method, model, shape, tp,
+    # gpu) and the engine's model/tp/gpu never change, so per-engine
+    # memoization on (kv_bits, shape) returns the *same float object* the
+    # cost model produced — bit-identical by construction.  Serving steps
+    # revisit the same (batch, context) points constantly (the measured
+    # hit rate on the cluster scenario is ~60%), which makes this the
+    # single largest win on the simulator's hot path.
+    _LATENCY_CACHE_MAX = 200_000
+
     def _method_at(self, kv_bits: Optional[float]) -> MethodSpec:
         """The cost-model spec at a (possibly browned-out) KV width."""
         if kv_bits is None or kv_bits == self.method.kv_bits:
             return self.method
-        return self.method.with_bits(kv_bits)
+        spec = self._method_cache.get(kv_bits)
+        if spec is None:
+            spec = self.method.with_bits(kv_bits)
+            self._method_cache[kv_bits] = spec
+        return spec
+
+    def _step_latency(
+        self, kv_bits: Optional[float], batch: int, q_len: int, kv_len: int,
+        prefill: bool,
+    ) -> float:
+        key = (kv_bits, batch, q_len, kv_len, prefill)
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            if len(self._latency_cache) >= self._LATENCY_CACHE_MAX:
+                self._latency_cache.clear()
+            cached = tp_step_latency(
+                self._method_at(kv_bits), self.model, batch, q_len, kv_len,
+                prefill=prefill, tp=self.config.tp, gpu=self.gpu,
+            )
+            self._latency_cache[key] = cached
+        return cached
 
     def _prefill_latency(
         self,
@@ -204,19 +251,15 @@ class ServingEngine:
         kv_len: Optional[int] = None,
         kv_bits: Optional[float] = None,
     ) -> float:
-        return tp_step_latency(
-            self._method_at(kv_bits), self.model, 1, n_tokens,
-            kv_len if kv_len is not None else n_tokens,
-            prefill=True, tp=self.config.tp, gpu=self.gpu,
+        return self._step_latency(
+            kv_bits, 1, n_tokens,
+            kv_len if kv_len is not None else n_tokens, True,
         )
 
     def _decode_latency(
         self, batch: int, mean_ctx: float, kv_bits: Optional[float] = None
     ) -> float:
-        return tp_step_latency(
-            self._method_at(kv_bits), self.model, batch, 1, max(int(mean_ctx), 1),
-            prefill=False, tp=self.config.tp, gpu=self.gpu,
-        )
+        return self._step_latency(kv_bits, batch, 1, max(int(mean_ctx), 1), False)
 
     def _bytes_scale(self, record: RequestRecord) -> float:
         """Allocator scale for a record admitted below full precision.
@@ -290,8 +333,11 @@ class ServingEngine:
             if self.config.brownout is not None
             else None
         )
-        for rid in list(getattr(self.allocator, "_allocs", {})):
-            self.allocator.release(rid)
+        #: Array-of-struct bookkeeping for resident records: the hot
+        #: lifecycle fields of every record in ``records`` live in these
+        #: columns between submit (bind) and departure (unbind).
+        self.columns = RequestColumns()
+        self.allocator.release_all()
         if getattr(self.allocator, "shared_blocks", 0):
             self.allocator.release_shared_block(self.allocator.shared_blocks)
         self.prefix_pool: Optional[PrefixPool] = (
@@ -371,6 +417,7 @@ class ServingEngine:
             )
         self.records[rid] = record
         self.waiting.append(rid)
+        self.columns.bind(record)
         self._mark("submit", f"r{rid}")
         return verdict
 
@@ -396,6 +443,7 @@ class ServingEngine:
         self.migrating.pop(request_id, None)
         if request_id in self.handoff_ready:
             self.handoff_ready.remove(request_id)
+        self.columns.unbind(record)
         self._mark("cancel", f"r{request_id}")
         return self.records.pop(request_id)
 
@@ -409,7 +457,9 @@ class ServingEngine:
         evicted: List[RequestRecord] = []
         for rid in list(self.running) + list(self.waiting) + list(self.migrating):
             self._release_request(rid)
-            evicted.append(self.records.pop(rid))
+            record = self.records.pop(rid)
+            self.columns.unbind(record)
+            evicted.append(record)
             self._mark("evict", f"r{rid}")
         self.running.clear()
         self.waiting.clear()
@@ -448,6 +498,7 @@ class ServingEngine:
         """
         rec = self.migrating.pop(request_id)
         self._release_request(request_id)
+        self.columns.unbind(rec)
         self._mark("migrate_out", f"r{request_id}")
         return self.records.pop(request_id)
 
@@ -550,6 +601,7 @@ class ServingEngine:
         self._release_request(rid)
         self.waiting.remove(rid)
         rec.mark_shed(self.clock, reason)
+        self.columns.unbind(rec)
         self._mark("shed", f"r{rid}:{reason}")
 
     def _shed_doomed(self, rid: int) -> bool:
@@ -657,14 +709,33 @@ class ServingEngine:
             self._mark("admit", f"r{rid}")
         self.peak_running = max(self.peak_running, len(running))
 
+        # From here on ``running`` membership is stable until the
+        # prefill-handoff move below, so one slot gather serves both the
+        # prefill and decode status scans (statuses change in between —
+        # the *codes* are re-gathered per scan, the slots are not).
+        cols = self.columns
+        run_slots = (
+            np.fromiter(
+                (records[rid]._slot for rid in running),
+                dtype=np.int64,
+                count=len(running),
+            )
+            if running
+            else None
+        )
+
         # Prefill work.  Unchunked: every PREFILLING request finishes
         # its whole prompt this iteration (serialized).  Chunked: only
         # the oldest PREFILLING request advances, by one chunk.
         step_time = 0.0
-        prefilling = [
-            rid for rid in running
-            if records[rid].status is RequestStatus.PREFILLING
-        ]
+        prefilling = (
+            [
+                running[i]
+                for i in np.nonzero(cols.status[run_slots] == _PREFILLING_CODE)[0]
+            ]
+            if run_slots is not None
+            else []
+        )
         chunk = self.config.prefill_chunk
         if chunk is None:
             for rid in prefilling:
@@ -702,20 +773,28 @@ class ServingEngine:
         # Batched decode for fully-prefilled requests.  The batch's cost
         # uses its mean admitted KV width — browned-out requests read
         # fewer cache bytes per step, so a degraded batch decodes faster.
-        decoding = [
-            rid for rid in running
-            if records[rid].status is RequestStatus.RUNNING
-        ]
-        if decoding:
-            mean_ctx = sum(records[rid].context_len for rid in decoding) / len(decoding)
-            bits = [
-                records[rid].kv_bits
-                for rid in decoding
-                if records[rid].kv_bits is not None
-            ]
-            mean_bits = sum(bits) / len(bits) if len(bits) == len(decoding) else None
-            step_time += self._decode_latency(len(decoding), mean_ctx, mean_bits)
-        if step_time == 0.0 and not decoding:
+        if run_slots is not None:
+            dec_mask = cols.status[run_slots] == _RUNNING_CODE
+            dec_pos = np.nonzero(dec_mask)[0]
+            dec_slots = run_slots[dec_pos]
+            n_dec = len(dec_pos)
+        else:
+            dec_slots = dec_pos = None
+            n_dec = 0
+        if n_dec:
+            dec_gen = cols.generated[dec_slots]
+            # Context lengths are integers, so the batched sum is the
+            # per-record sum exactly; kv widths are floats, where only a
+            # left-to-right fold (accumulate, not pairwise np.sum)
+            # reproduces the scalar loop bit-for-bit.
+            mean_ctx = int((cols.prompt_len[dec_slots] + dec_gen).sum()) / n_dec
+            bits_col = cols.kv_bits[dec_slots]
+            if np.isnan(bits_col).any():
+                mean_bits = None
+            else:
+                mean_bits = float(np.add.accumulate(bits_col)[-1]) / n_dec
+            step_time += self._decode_latency(n_dec, mean_ctx, mean_bits)
+        if step_time == 0.0 and not n_dec:
             # Nothing processable (all prefilling under chunking with
             # zero-size chunks cannot happen; guard anyway).
             step_time = 1e-6
@@ -737,7 +816,65 @@ class ServingEngine:
                 self._mark("prefill_ready", f"r{rid}")
 
         # Token bookkeeping + cache growth (with preemption on OOM).
-        finished: List[int] = []
+        if n_dec:
+            decoding = [running[i] for i in dec_pos]
+        else:
+            decoding = []
+
+        # Fast path: without a prefix pool there are no COW/shared-block
+        # transitions, so the whole batch's bookkeeping is four column
+        # scatters plus one allocator commit.  Any OOM along the way (or
+        # a request with no allocation to grow) falls back to the scalar
+        # loop below, which carries the preemption policy.
+        if n_dec and self.prefix_pool is None and not self.config.prefill_only:
+            alloc_index = self.allocator._index
+            alloc_slots = np.fromiter(
+                (alloc_index.get(rid, -1) for rid in decoding),
+                dtype=np.int64,
+                count=n_dec,
+            )
+            if alloc_slots.min() >= 0:
+                gen_new = dec_gen + 1
+                done = gen_new >= cols.gen_len[dec_slots]
+                # Growth reserves the *next* token's block; shared prefix
+                # tokens (always 0 without a pool, but kept for exactness
+                # with records migrated in) never count against private
+                # blocks.
+                tokens = (
+                    cols.prompt_len[dec_slots]
+                    + gen_new
+                    + 1
+                    - cols.shared_tokens[dec_slots]
+                )
+                done_pos = np.nonzero(done)[0]
+                release_ids = [decoding[i] for i in done_pos]
+                if self.allocator.decode_commit(
+                    alloc_slots, tokens, done, release_ids
+                ):
+                    cols.generated[dec_slots] = gen_new
+                    first_new = ~cols.first_flag[dec_slots]
+                    cols.first_flag[dec_slots] = True
+                    cols.first_at[dec_slots[first_new]] = self.clock
+                    # Rare transitions (first token, finish) keep their
+                    # scalar in-batch-order walk so trace marks appear in
+                    # exactly the order the scalar loop emitted them.
+                    finished: List[int] = []
+                    for i in np.nonzero(first_new | done)[0].tolist():
+                        rid = decoding[i]
+                        if first_new[i]:
+                            self._mark("first_token", f"r{rid}")
+                        if done[i]:
+                            rec = records[rid]
+                            cols.status[dec_slots[i]] = _FINISHED_CODE
+                            rec.finished_at = self.clock
+                            finished.append(rid)
+                            self._mark("finish", f"r{rid}")
+                            self.columns.unbind(rec)
+                    for rid in finished:
+                        running.remove(rid)
+                    return step_time
+
+        finished = []
         for rid in list(decoding):
             if records[rid].status is not RequestStatus.RUNNING:
                 continue  # preempted earlier in this loop
@@ -760,6 +897,7 @@ class ServingEngine:
                 self._release_request(rid)
                 finished.append(rid)
                 self._mark("finish", f"r{rid}")
+                self.columns.unbind(rec)
                 continue
             # Private growth covers only the non-shared context span.
             if not self._grow(
@@ -791,6 +929,105 @@ class ServingEngine:
         for rid in finished:
             running.remove(rid)
         return step_time
+
+    def decode_steps(self, t_limit: Optional[float] = None) -> int:
+        """Advance many *homogeneous* decode iterations in one pass.
+
+        A homogeneous stretch is one where :meth:`step` would do nothing
+        but batched decode over a fixed set of RUNNING requests: no
+        waiting queue (so no admission/shed attempts), no prefilling, no
+        overload controllers, no prefix pool, and every request past its
+        first token (so no lifecycle transitions, hence no trace marks).
+        Under those conditions each step is fully determined by the
+        batch's context trajectory, so the per-step cost-model calls
+        collapse into one vectorized
+        :func:`~repro.perf.tp.decode_step_latency_batch` evaluation and
+        the per-step allocator growth into one :meth:`bulk_grow` — with
+        clock, generated counts, and block state bit-identical to calling
+        :meth:`step` that many times (the clock is folded left-to-right
+        via ``np.add.accumulate``, the same float additions ``step``
+        performs).
+
+        Advances until (whichever comes first) the clock reaches
+        ``t_limit`` (the last step may overshoot it, exactly like the
+        scalar loop whose condition is checked *before* each step), or
+        the next step would finish a request (the scalar path owns all
+        transitions).  Returns the number of steps taken; 0 means "no
+        homogeneous stretch here — take a scalar :meth:`step`".
+        """
+        cfg = self.config
+        if (
+            not self.running
+            or self.waiting
+            or self.prefix_pool is not None
+            or self.brownout is not None
+            or cfg.prefill_only
+            or cfg.shed_high_water is not None
+        ):
+            return 0
+        records, running = self.records, self.running
+        cols = self.columns
+        n = len(running)
+        run_slots = np.fromiter(
+            (records[rid]._slot for rid in running), dtype=np.int64, count=n
+        )
+        if not (
+            (cols.status[run_slots] == _RUNNING_CODE).all()
+            and cols.first_flag[run_slots].all()
+        ):
+            return 0
+        gen = cols.generated[run_slots]
+        # Stop one short of the earliest finish: the finishing step has
+        # transitions (marks, releases) the scalar loop must own.  The
+        # whole window's latencies are computed even when ``t_limit``
+        # cuts the stretch short — the batch cost model's price is
+        # per-call overhead, not array length, so one oversized call
+        # beats chunked re-entry from the caller's advance loop.
+        k_cap = int((cols.gen_len[run_slots] - gen).min()) - 1
+        if k_cap < 1:
+            return 0
+        alloc_index = self.allocator._index
+        alloc_slots = np.fromiter(
+            (alloc_index.get(rid, -1) for rid in running), dtype=np.int64, count=n
+        )
+        if alloc_slots.min() < 0:
+            return 0
+
+        # Latency of each candidate step from the context trajectory
+        # (the batch mean context advances by exactly one per step).
+        ctx_sums = int((cols.prompt_len[run_slots] + gen).sum()) + n * np.arange(
+            k_cap, dtype=np.int64
+        )
+        means = ctx_sums / n
+        bits_col = cols.kv_bits[run_slots]
+        if np.isnan(bits_col).any():
+            spec = self.method
+        else:
+            spec = self._method_at(float(np.add.accumulate(bits_col)[-1]) / n)
+        kv_lens = np.maximum(np.trunc(means), 1.0).astype(np.int64)
+        step_times = (
+            decode_step_latency_batch(
+                spec, self.model, n, kv_lens, tp=self.config.tp, gpu=self.gpu
+            )
+            * self.time_scale
+        )
+        clocks = np.add.accumulate(np.concatenate(([self.clock], step_times)))
+        if t_limit is None:
+            k = k_cap
+        else:
+            # Steps run while the *pre-step* clock is below the limit.
+            k = int(np.searchsorted(clocks[:k_cap], t_limit, side="left"))
+        if k < 1:
+            return 0
+        if not self.allocator.bulk_grow(
+            alloc_slots,
+            cols.prompt_len[run_slots] + (gen + k) + 1 - cols.shared_tokens[run_slots],
+        ):
+            return 0
+        cols.generated[run_slots] = gen + k
+        self.clock = float(clocks[k])
+        self.iterations += k
+        return k
 
     def summarize(self) -> ServingMetrics:
         """Aggregate the current records into operator metrics."""
@@ -827,7 +1064,7 @@ class ServingEngine:
 
         for _ in range(self.config.max_iterations):
             # Drain due offers into the FCFS queue (or terminal REJECT).
-            while (event := events.pop_due(self.clock)) is not None:
+            for event in events.pop_due_batch(self.clock):
                 record = event.payload
                 if self.submit_record(record) is AdmissionVerdict.DEFER:
                     events.schedule(
@@ -842,7 +1079,11 @@ class ServingEngine:
                 self.clock = events.next_time
                 continue
 
-            self.step()
+            # Homogeneous decode stretches advance in bulk; the next
+            # offer bounds the jump so due offers still land between
+            # exactly the same steps as the scalar loop.
+            if self.decode_steps(events.next_time) == 0:
+                self.step()
 
             if not self.busy and events.empty:
                 break

@@ -42,6 +42,12 @@ TERMINAL_STATUSES = frozenset(
     }
 )
 
+#: Enum <-> small-int codes for the array-of-struct status column
+#: (:mod:`repro.serving.columns`).  Codes are positional, so they are
+#: stable as long as members are only appended.
+_STATUS_MEMBERS = tuple(RequestStatus)
+_STATUS_CODES = {member: code for code, member in enumerate(_STATUS_MEMBERS)}
+
 
 @dataclass(frozen=True)
 class Request:
@@ -225,3 +231,98 @@ class RequestRecord:
         self.status = RequestStatus.SHED
         self.shed_at = now
         self.outcome_reason = reason
+
+
+# -- column binding (array-of-struct bookkeeping) ----------------------------
+#
+# While a record is resident in a serving engine, its hot lifecycle fields
+# live in that engine's RequestColumns (repro.serving.columns) under slot
+# ``_slot``; the properties installed below route reads/writes there so the
+# columns are the single authoritative copy.  Unbound records (the default,
+# and every record after it leaves an engine) use plain per-instance
+# storage.  The properties are installed *after* the dataclass decorator
+# has run so the generated __init__/__repr__ keep their field defaults.
+
+RequestRecord._cols = None
+RequestRecord._slot = -1
+
+
+def _install_column_properties() -> None:
+    def scalar(name, column, cast):
+        plain = "_p_" + name
+
+        def get(self):
+            cols = self._cols
+            if cols is None:
+                return getattr(self, plain)
+            return cast(getattr(cols, column)[self._slot])
+
+        def set_(self, value):
+            cols = self._cols
+            if cols is None:
+                object.__setattr__(self, plain, value)
+            else:
+                getattr(cols, column)[self._slot] = value
+
+        setattr(RequestRecord, name, property(get, set_))
+
+    scalar("generated", "generated", int)
+    scalar("prefilled", "prefilled", int)
+    scalar("shared_tokens", "shared_tokens", int)
+    scalar("shared_tail_tokens", "shared_tail_tokens", int)
+
+    def status_get(self):
+        cols = self._cols
+        if cols is None:
+            return self._p_status
+        return _STATUS_MEMBERS[cols.status[self._slot]]
+
+    def status_set(self, value):
+        cols = self._cols
+        if cols is None:
+            object.__setattr__(self, "_p_status", value)
+        else:
+            cols.status[self._slot] = _STATUS_CODES[value]
+
+    RequestRecord.status = property(status_get, status_set)
+
+    def first_get(self):
+        cols = self._cols
+        if cols is None:
+            return self._p_first_token_at
+        if not cols.first_flag[self._slot]:
+            return None
+        return float(cols.first_at[self._slot])
+
+    def first_set(self, value):
+        cols = self._cols
+        if cols is None:
+            object.__setattr__(self, "_p_first_token_at", value)
+        elif value is None:
+            cols.first_flag[self._slot] = False
+        else:
+            cols.first_flag[self._slot] = True
+            cols.first_at[self._slot] = value
+
+    RequestRecord.first_token_at = property(first_get, first_set)
+
+    def bits_get(self):
+        cols = self._cols
+        if cols is None:
+            return self._p_kv_bits
+        value = cols.kv_bits[self._slot]
+        if value != value:  # NaN encodes "not assigned"
+            return None
+        return float(value)
+
+    def bits_set(self, value):
+        cols = self._cols
+        if cols is None:
+            object.__setattr__(self, "_p_kv_bits", value)
+        else:
+            cols.kv_bits[self._slot] = float("nan") if value is None else value
+
+    RequestRecord.kv_bits = property(bits_get, bits_set)
+
+
+_install_column_properties()

@@ -33,7 +33,7 @@ digest (:func:`repro.sim.trace.trace_digest`) the test suite asserts.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from repro.sim.trace import TraceSink
 
@@ -203,6 +203,41 @@ class EventScheduler:
         if next_time is None or next_time > now:
             return None
         return self.pop()
+
+    def pop_batch(self) -> Iterator[Event]:
+        """Lazily fire every live event at the head instant, in order.
+
+        Captures the head time once, then yields :meth:`pop` results while
+        the head stays at that instant — so an event a *handler* schedules
+        at the same time is yielded too, in its registered order-class
+        slot, exactly as a caller re-invoking :meth:`pop` in a loop would
+        see it.  Laziness is the point: consumers keep their per-event
+        handling between pops, but the batch shape lets them hoist the
+        per-instant bookkeeping (fleet advance, autoscale) out of the
+        per-event path.
+        """
+        t = self.next_time
+        if t is None:
+            return
+        while True:
+            next_time = self.next_time
+            if next_time is None or next_time != t:
+                return
+            yield self.pop()  # type: ignore[misc]  # head is live, never None
+
+    def pop_due_batch(self, now: float) -> Iterator[Event]:
+        """Lazily fire every live event due at or before ``now``, in order.
+
+        The generator re-checks the head each iteration, so events a
+        handler schedules inside the drain window are yielded in this
+        same sweep — byte-identical to a ``while pop_due(now)`` loop,
+        without the per-call ``None`` sentinel handling at the call site.
+        """
+        while True:
+            next_time = self.next_time
+            if next_time is None or next_time > now:
+                return
+            yield self.pop()  # type: ignore[misc]  # head is due, never None
 
     # -- lifecycle marks ------------------------------------------------------
     def mark(self, kind: str, label: str = "", time: Optional[float] = None) -> None:

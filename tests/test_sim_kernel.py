@@ -190,3 +190,64 @@ class TestTimeScale:
         sched.time_scale = 3.0
         ev = sched.schedule_in(2.0, "alpha")
         assert ev.time == 6.0
+
+
+class TestBatchDrains:
+    def test_pop_batch_fires_exactly_the_head_instant(self):
+        sched = EventScheduler(ORDER)
+        sched.schedule(1.0, "beta", label="b")
+        sched.schedule(1.0, "alpha", label="a")
+        sched.schedule(2.0, "alpha", label="later")
+        fired = [e.label for e in sched.pop_batch()]
+        assert fired == ["a", "b"]  # order class, not schedule order
+        assert sched.now == 1.0 and len(sched) == 1
+
+    def test_pop_batch_on_empty_scheduler_yields_nothing(self):
+        sched = EventScheduler(ORDER)
+        assert list(sched.pop_batch()) == []
+
+    def test_pop_batch_includes_same_instant_events_scheduled_mid_drain(self):
+        # A handler scheduling at the instant being drained sees its
+        # event fire in this same sweep, in its order-class slot —
+        # exactly what a pop()-in-a-loop caller observes.
+        sched = EventScheduler(ORDER)
+        sched.schedule(1.0, "alpha", label="first")
+        sched.schedule(1.0, "gamma", label="last")
+        fired = []
+        for ev in sched.pop_batch():
+            fired.append(ev.label)
+            if ev.label == "first":
+                sched.schedule(1.0, "beta", label="injected")
+        assert fired == ["first", "injected", "last"]
+
+    def test_pop_due_batch_drains_everything_due(self):
+        sched = EventScheduler(ORDER)
+        sched.schedule(1.0, "alpha", label="a")
+        sched.schedule(2.0, "alpha", label="b")
+        sched.schedule(3.0, "alpha", label="late")
+        assert [e.label for e in sched.pop_due_batch(2.5)] == ["a", "b"]
+        assert sched.now == 2.0
+        assert [e.label for e in sched.pop_due_batch(1.0)] == []
+        assert [e.label for e in sched.pop_due_batch(3.0)] == ["late"]
+
+    def test_batch_drains_match_scalar_pops_in_trace(self):
+        def run(drain):
+            sink = ListTraceSink()
+            sched = EventScheduler(ORDER, trace=sink)
+            for i, (t, kind) in enumerate(
+                [(1.0, "beta"), (1.0, "alpha"), (1.0, "gamma"), (2.0, "alpha")]
+            ):
+                sched.schedule(t, kind, label=f"e{i}")
+            drain(sched)
+            return sink.digest()
+
+        def scalar(sched):
+            while sched.pop() is not None:
+                pass
+
+        def batched(sched):
+            while sched.next_time is not None:
+                for _ in sched.pop_batch():
+                    pass
+
+        assert run(scalar) == run(batched)

@@ -59,6 +59,19 @@ GOLDEN_DISAGG_FAULTS = FaultConfig(
 )
 
 
+#: Literal digest pins for the checked-in fixtures.  The replay test
+#: already catches *semantics* drifting from the fixture bytes; these
+#: catch the fixture bytes themselves being regenerated (deliberately or
+#: not) — a digest change here must be an explicit, reviewed edit.  The
+#: vectorized-kernel and batched-scheduler rewrites were landed against
+#: these exact values.
+GOLDEN_DIGESTS = {
+    "engine": "bf3ade229936d1e9b1ccbf1f481561e7",
+    "cluster": "2c728878b9c6b685966d9d9d5d552c6e",
+    "disagg": "57dbbfee56dcc9a3aec48ded26ee2ffe",
+}
+
+
 def _golden_workload():
     return poisson_workload(
         12, arrival_rate=5.0, prompt_range=(256, 2048), gen_range=(32, 128),
@@ -117,6 +130,18 @@ class TestGoldenTraces:
         assert diff is None, "semantics drifted from the checked-in trace:\n" + \
             format_diff(diff, "golden", "fresh")
         assert trace_digest(fresh) == trace_file_digest(path)
+
+    @pytest.mark.parametrize(
+        "name,path",
+        [
+            ("engine", GOLDEN_ENGINE),
+            ("cluster", GOLDEN_CLUSTER),
+            ("disagg", GOLDEN_DISAGG),
+        ],
+    )
+    def test_fixture_digest_is_pinned(self, name, path):
+        """The fixture files match their hard-coded digests."""
+        assert trace_file_digest(path) == GOLDEN_DIGESTS[name]
 
     def test_golden_cluster_exercises_the_fault_machinery(self):
         """The fixture is non-vacuous: faults actually fired into it."""
@@ -217,6 +242,7 @@ def regenerate() -> None:  # pragma: no cover - maintenance entry point
                 sink.emit({k: v for k, v in r.items() if k != "i"})
         print(f"wrote {path}: {len(records)} records, "
               f"digest {trace_file_digest(path)}")
+    print("update GOLDEN_DIGESTS with the digests above")
 
 
 if __name__ == "__main__":  # pragma: no cover
