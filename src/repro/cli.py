@@ -43,6 +43,7 @@ from repro.models.config import MODEL_PRESETS
 from repro.perf.attention_costs import METHODS, attention_latency
 from repro.perf.e2e import ModelGeometry
 from repro.perf.memory import paper_memory_model
+from repro.recover import RecoverConfig
 from repro.serving import ServingEngine, poisson_workload
 from repro.sim import JsonlTraceSink, trace_file_digest
 from repro.sim.replay import trace_diff_main
@@ -160,6 +161,13 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             migration_corrupt_rate=args.migration_corrupt_rate,
             link_stall_rate=args.link_stall_rate,
         )
+    recover = None
+    if args.recover:
+        recover = RecoverConfig(
+            snapshot_interval_s=args.snapshot_interval,
+            keep_epochs=args.keep_epochs,
+            corrupt_rate=args.snapshot_corrupt_rate,
+        )
     disagg = None
     if args.disagg:
         n_prefill = args.prefill
@@ -182,6 +190,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             autoscaler=autoscaler,
             faults=faults,
             disagg=disagg,
+            recover=recover,
         )
         sink = JsonlTraceSink(args.trace) if args.trace else None
         m = ClusterSimulator(
@@ -205,6 +214,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 m.failed, m.retries, m.crashes + m.stalls + m.timeouts,
                 m.wasted_prefill_tokens, f"{m.availability * 100:.0f}%",
             ]
+        if recover is not None:
+            row += [
+                m.snapshots_taken, m.warm_restarts, m.recovered_requests,
+                m.restored_prefill_tokens + m.restored_decode_tokens,
+            ]
         rows.append(row)
     headers = [
         "policy", "done", "goodput/s", "SLO att",
@@ -214,6 +228,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     ]
     if faults is not None:
         headers += ["failed", "retries", "faults", "re-prefill tok", "avail"]
+    if recover is not None:
+        headers += ["snaps", "warm", "recovered", "restored tok"]
     title = (
         f"Cluster: {args.requests} requests @ {args.rate}/s, "
         f"{args.replicas} x tp={args.tp} replicas, method={args.method}, "
@@ -259,6 +275,13 @@ def _cmd_prefix(args: argparse.Namespace) -> int:
     from repro.harness.prefix import main as prefix_main
 
     prefix_main(quick=args.quick)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.harness.recover import main as recover_main
+
+    recover_main(quick=args.quick)
     return 0
 
 
@@ -396,6 +419,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--migration-corrupt-rate", type=float, default=0.0,
                            help="probability a KV transfer arrives corrupted "
                                 "(--faults + --disagg)")
+    p_cluster.add_argument("--recover", action="store_true",
+                           help="crash-consistent checkpointing + warm "
+                                "restart instead of cold retry")
+    p_cluster.add_argument("--snapshot-interval", type=float, default=5.0,
+                           help="seconds between per-replica snapshots "
+                                "(--recover)")
+    p_cluster.add_argument("--snapshot-corrupt-rate", type=float, default=0.0,
+                           help="probability a written snapshot epoch is "
+                                "corrupted at rest (--recover)")
+    p_cluster.add_argument("--keep-epochs", type=int, default=2,
+                           help="snapshot epochs retained per replica "
+                                "(--recover)")
     p_cluster.add_argument("--link-stall-rate", type=float, default=0.0,
                            help="fleet link-congestion windows per second "
                                 "(--faults + --disagg)")
@@ -439,6 +474,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_d.add_argument("--quick", action="store_true")
     p_d.set_defaults(fn=_cmd_disagg)
+
+    p_r = sub.add_parser(
+        "recover",
+        help="checkpointing & warm-restart demo: crash-consistent "
+             "snapshots, WAL replay, the salvage recovery ladder, and "
+             "graceful drain / rolling restart fleet ops",
+    )
+    p_r.add_argument("--quick", action="store_true")
+    p_r.set_defaults(fn=_cmd_recover)
 
     p_p = sub.add_parser(
         "prefix",

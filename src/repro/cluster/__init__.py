@@ -34,7 +34,12 @@ router/replica/autoscaler variant behind the same simulator.
 """
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
-from repro.cluster.faults import FaultConfig, FaultEvent, FaultInjector
+from repro.cluster.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    downtime_within,
+)
 from repro.cluster.metrics import (
     SLO,
     ClusterMetrics,
@@ -78,4 +83,5 @@ __all__ = [
     "ClusterConfig",
     "DisaggConfig",
     "ClusterSimulator",
+    "downtime_within",
 ]

@@ -52,7 +52,27 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["FaultConfig", "FaultEvent", "FaultInjector"]
+__all__ = ["FaultConfig", "FaultEvent", "FaultInjector", "downtime_within"]
+
+
+def downtime_within(
+    windows: "List[tuple]", horizon_s: float
+) -> float:
+    """Replica-seconds of crash downtime falling inside ``[0, horizon_s]``.
+
+    Each window is one replica's ``(crash_time, recovery_time)``; a crash
+    near the end of a run schedules downtime extending *past* the
+    makespan, and charging those phantom seconds against availability
+    double-counts time the run never observed.  Distinct replicas may be
+    down simultaneously — that genuinely costs the fleet two replicas'
+    capacity, so overlapping windows are summed, not merged; a single
+    replica can never overlap itself (it must recover before it can
+    crash again).
+    """
+    total = 0.0
+    for start, end in windows:
+        total += max(0.0, min(float(end), horizon_s) - min(float(start), horizon_s))
+    return total
 
 
 @dataclass(frozen=True)

@@ -100,6 +100,15 @@ class Replica:
             raise RuntimeError(f"replica {self.replica_id} is down (crashed)")
         return self.engine.submit_record(record)
 
+    def restore_record(self, record: RequestRecord) -> bool:
+        """Warm-restart re-entry (see :mod:`repro.recover`).  Bypasses
+        the ``dispatchable`` gate deliberately: restored work was
+        admitted before the crash, and the restart itself is what makes
+        the replica healthy again."""
+        if self.crashed:
+            raise RuntimeError(f"replica {self.replica_id} is down (crashed)")
+        return self.engine.restore_record(record)
+
     def cancel(self, request_id: int):
         return self.engine.cancel(request_id)
 

@@ -54,7 +54,12 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
-from repro.cluster.faults import FaultConfig, FaultEvent, FaultInjector
+from repro.cluster.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultInjector,
+    downtime_within,
+)
 from repro.cluster.metrics import (
     SLO,
     ClusterMetrics,
@@ -78,6 +83,13 @@ from repro.overload.admission import (
     AdmissionVerdict,
 )
 from repro.overload.breaker import BreakerConfig, CircuitBreaker
+from repro.recover import (
+    FleetOp,
+    RecoverConfig,
+    ReplicaRecoveryState,
+    take_snapshot,
+    verify_snapshot,
+)
 from repro.perf.attention_costs import MethodSpec
 from repro.perf.e2e import ModelGeometry
 from repro.perf.gpu import A100_80GB, GPUSpec
@@ -124,6 +136,29 @@ CLUSTER_EVENT_ORDER = {
     "migrate_reroute": 16,
     "handoff_done": 17,
     "local_fallback": 18,
+    # -- checkpointing / warm restart / fleet ops (repro.recover) ------------
+    # None of these kinds ever appear unless ``ClusterConfig.recover`` or
+    # ``ClusterConfig.ops`` is set, so golden traces of every existing
+    # scenario are byte-identical.  Scheduled kinds: a warm restart ends
+    # a crash's downtime in the recover slot (before faults and work
+    # placement, like "recover"); fleet ops and their polls share the
+    # fault/work slots; snapshots run last at their instant so they
+    # checkpoint the post-event state.
+    "warm_restart": 0,
+    "fleet_op": 2,
+    "requeue": 3,
+    "op_check": 4,
+    "snapshot": 5,
+    # lifecycle marks (append-only, values frozen by golden fixtures).
+    "snapshot_taken": 19,
+    "snapshot_corrupt": 20,
+    "snapshot_salvage": 21,
+    "warm_restore": 22,
+    "cold_restore": 23,
+    "wal_replay": 24,
+    "drain_begin": 25,
+    "drain_done": 26,
+    "rejoin": 27,
 }
 
 
@@ -183,6 +218,13 @@ class ClusterConfig:
     #: unified fleet (``n_replicas`` is ignored when set — the fleet is
     #: ``n_prefill + n_decode``).
     disagg: Optional[DisaggConfig] = None
+    #: Crash-consistent checkpointing + warm restart (see
+    #: :mod:`repro.recover`); ``None`` keeps the classic cold-retry
+    #: recovery, byte-identical to the pre-checkpoint behaviour.
+    recover: Optional[RecoverConfig] = None
+    #: Operator-initiated fleet operations (graceful drains, rolling
+    #: restarts), executed as first-class cluster events.
+    ops: Tuple[FleetOp, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_replicas < 1:
@@ -277,6 +319,21 @@ class ClusterSimulator:
         self._injector = (
             FaultInjector(config.faults) if config.faults is not None else None
         )
+        # -- checkpointing / warm restart / fleet ops (repro.recover) -----
+        #: Per-replica checkpoint bookkeeping (lazy; only populated when
+        #: ``config.recover`` is set).
+        self._rstates: Dict[int, ReplicaRecoveryState] = {}
+        #: Snapshot events currently scheduled — subtracted from the
+        #: kernel's length when deciding whether the chain should keep
+        #: itself alive, so snapshots alone never prevent termination.
+        self._live_snapshots = 0
+        #: Fleet operations queued behind the single active one.
+        self._op_backlog: List[dict] = []
+        self._op_active: Optional[dict] = None
+        #: Per-crash ``(crash_time, recovery_time)`` windows; at the end
+        #: of a recovery-enabled run they replace the incremental
+        #: ``downtime_s`` with the makespan-clipped figure.
+        self._downtime_windows: List[Tuple[float, float]] = []
 
     # -- fleet management ---------------------------------------------------
     def _new_replica(self, replica_id: int, role: str = "unified") -> Replica:
@@ -455,8 +512,13 @@ class ClusterSimulator:
         return True
 
     # -- dispatch and recovery ----------------------------------------------
-    def _dispatch(self, record: RequestRecord, now: float) -> None:
-        if not self._cluster_admit(record, now):
+    def _dispatch(
+        self, record: RequestRecord, now: float, gate: bool = True
+    ) -> None:
+        # ``gate=False`` skips cluster admission: work re-routed off a
+        # draining replica was already admitted once and must not be
+        # double-charged against queue-depth or defer budgets.
+        if gate and not self._cluster_admit(record, now):
             return
         # Disaggregated fleets prefill everything in the prefill pool —
         # including fault re-dispatches, whose KV died with their source.
@@ -469,6 +531,14 @@ class ClusterSimulator:
             # Whole fleet (pool) is down/draining: park until recovery.
             downed = [r for r in self.replicas if r.crashed]
             if not downed:
+                if self._op_active is not None:
+                    # A fleet op has the whole pool draining at once; the
+                    # drained replica rejoins within a poll interval.
+                    self._push(
+                        now + self._op_active["op"].poll_s, "redispatch",
+                        record, label=f"r{record.request.request_id}:op_wait",
+                    )
+                    return
                 raise RuntimeError("no replica can ever accept work (all draining)")
             wake = max(min(r.down_until for r in downed), now)
             self._push(
@@ -503,6 +573,10 @@ class ClusterSimulator:
             )
             return
         self._location[rid] = target
+        if self.config.recover is not None:
+            # Post-snapshot lifecycle mark: a crash between this accept
+            # and the next checkpoint replays the request from the WAL.
+            self._rstate(target).wal.append("submit", rid, now)
         faults = self.config.faults
         if faults is not None and faults.request_timeout_s is not None:
             # The deadline is armed per dispatch; record.retries is the
@@ -547,9 +621,13 @@ class ClusterSimulator:
         if event.kind == "crash":
             self.fault_counters.crashes += 1
             self.fault_counters.downtime_s += event.duration_s
+            self._downtime_windows.append((now, now + event.duration_s))
             evicted = victim.crash(down_until=now + event.duration_s)
+            warm = self.config.recover is not None
             self._push(
-                now + event.duration_s, "recover", victim,
+                now + event.duration_s,
+                "warm_restart" if warm else "recover",
+                victim,
                 label=f"replica{victim.replica_id}",
             )
             # Destination crash mid-transfer: the in-flight handoff can
@@ -569,8 +647,22 @@ class ClusterSimulator:
                     time=now,
                 )
                 self._retry_migration(rec, source, now)
-            for record in evicted:
-                self._retry_or_fail(record, now)
+            if warm:
+                # Hold the evicted records for the warm restart that ends
+                # the downtime: the checkpoint (not a cold re-prefill)
+                # decides how much of their progress survives.
+                state = self._rstate(victim)
+                for record in evicted:
+                    rid = record.request.request_id
+                    self._location.pop(rid, None)
+                    self._abort_migration(rid)
+                    deadline = self._timeout_events.pop(rid, None)
+                    if deadline is not None:
+                        self.kernel.cancel(deadline)
+                    state.pending.append(record)
+            else:
+                for record in evicted:
+                    self._retry_or_fail(record, now)
         elif event.kind == "stall":
             self.fault_counters.stalls += 1
             victim.stall(event.slowdown)
@@ -617,6 +709,235 @@ class ClusterSimulator:
                 )
         self.fault_counters.timeouts += 1
         self._retry_or_fail(record, now)
+
+    # -- checkpointing and warm restart (see repro.recover) ------------------
+    def _rstate(self, replica: Replica) -> ReplicaRecoveryState:
+        state = self._rstates.get(replica.replica_id)
+        if state is None:
+            state = self._rstates[replica.replica_id] = (
+                ReplicaRecoveryState.fresh(
+                    replica.replica_id, self.config.recover.keep_epochs
+                )
+            )
+        return state
+
+    def _schedule_snapshot(self, replica: Replica, t: float) -> None:
+        self._live_snapshots += 1
+        self._push(t, "snapshot", replica, label=f"replica{replica.replica_id}")
+
+    def _snapshot_work_remains(self) -> bool:
+        """Should the snapshot chains stay alive?
+
+        Snapshot events are excluded from the kernel count so the chains
+        never keep *themselves* (or each other) alive: once only
+        snapshots remain and every surviving replica is idle with nothing
+        pending restore, the chains wind down and the run can terminate.
+        """
+        if len(self.kernel) - self._live_snapshots > 0:
+            return True
+        if any(state.pending for state in self._rstates.values()):
+            return True
+        return any(
+            not r.crashed and (r.busy or r.engine.migrating)
+            for r in self.replicas
+        )
+
+    def _handle_snapshot(self, replica: Replica, now: float) -> None:
+        self._live_snapshots -= 1
+        cfg = self.config.recover
+        if not replica.crashed:
+            state = self._rstate(replica)
+            snap = take_snapshot(
+                replica.replica_id, replica.engine, state.epoch, now, cfg,
+                self.model, self.method.kv_bits,
+            )
+            state.epoch += 1
+            state.snapshots.append(snap)
+            # Everything the WAL recorded is inside the checkpoint now.
+            state.wal.truncate()
+            self.fault_counters.snapshots_taken += 1
+            self.fault_counters.snapshot_bytes += snap.nbytes
+            self.kernel.mark(
+                "snapshot_taken",
+                f"replica{replica.replica_id}:e{snap.epoch}:{snap.digest[:8]}",
+                time=now,
+            )
+        if self._snapshot_work_remains():
+            self._schedule_snapshot(replica, now + cfg.snapshot_interval_s)
+
+    def _load_snapshot_ladder(self, state: ReplicaRecoveryState, now: float):
+        """Walk the recovery ladder, newest epoch first.
+
+        Returns ``(snapshot, kept, total)`` where ``kept/total`` is the
+        verified fraction of the epoch's payload (``kept == total`` for
+        an intact epoch), or ``(None, 0, total)`` when no epoch is usable
+        and the restart degrades to a cold start.
+        """
+        cfg = self.config.recover
+        for snap in reversed(state.snapshots):
+            if not snap.corrupt:
+                return snap, cfg.payload_tokens, cfg.payload_tokens
+            self.fault_counters.snapshot_corruptions += 1
+            self.kernel.mark(
+                "snapshot_corrupt",
+                f"replica{snap.replica_id}:e{snap.epoch}",
+                time=now,
+            )
+            kept, total = verify_snapshot(snap, cfg)
+            if kept > 0:
+                self.fault_counters.snapshot_salvages += 1
+                self.kernel.mark(
+                    "snapshot_salvage",
+                    f"replica{snap.replica_id}:e{snap.epoch}:{kept}/{total}",
+                    time=now,
+                )
+                return snap, kept, total
+        return None, 0, cfg.payload_tokens
+
+    def _handle_warm_restart(self, replica: Replica, now: float) -> None:
+        """End a crash's downtime by restoring from the last checkpoint.
+
+        Held requests captured by the restored epoch resume at the
+        verified fraction of their snapshotted progress (exact
+        ``[valid, prompt_len)`` recompute ranges, like a salvaged
+        migration payload); requests that arrived after the checkpoint
+        replay from the write-ahead log from token zero.  If no epoch is
+        usable the restart degrades to the classic cold retry path —
+        degraded, never lost.
+        """
+        replica.recover(now)
+        state = self._rstate(replica)
+        held = list(state.pending)
+        state.pending.clear()
+        self.fault_counters.warm_restarts += 1
+        snap, kept, total = self._load_snapshot_ladder(state, now)
+        if snap is None:
+            self.fault_counters.cold_restores += 1
+            self.kernel.mark(
+                "cold_restore", f"replica{replica.replica_id}", time=now
+            )
+            for record in held:
+                self._retry_or_fail(record, now)
+            return
+        snap_map = {s.rid: s for s in snap.requests}
+        faults = self.config.faults
+        restored = 0
+        for record in held:
+            rid = record.request.request_id
+            s = snap_map.get(rid)
+            if s is None:
+                # Post-checkpoint arrival: the WAL has its submit but no
+                # KV — it replays from token zero on the restarted box.
+                self.kernel.mark("wal_replay", f"r{rid}", time=now)
+                record.reset_for_recovery(0, 0)
+            else:
+                # Map the epoch's verified fraction onto this request's
+                # snapshotted context, rounding down: the resume point
+                # never claims a token the checksums did not cover.
+                valid = s.context_tokens * kept // total
+                keep_p = min(valid, s.prefilled)
+                keep_g = max(0, valid - s.prefilled)
+                record.reset_for_recovery(keep_p, keep_g, s.first_token_at)
+                self.fault_counters.restored_prefill_tokens += keep_p
+                self.fault_counters.restored_decode_tokens += keep_g
+            replica.restore_record(record)
+            restored += 1
+            self.fault_counters.recovered_requests += 1
+            self._location[rid] = replica
+            state.wal.append("submit", rid, now)
+            if (
+                faults is not None
+                and faults.request_timeout_s is not None
+                and record.first_token_at is None
+            ):
+                self._timeout_events[rid] = self._push(
+                    now + faults.request_timeout_s, "timeout",
+                    (record, record.retries),
+                    label=f"r{rid}@{record.retries}",
+                )
+        self.kernel.mark(
+            "warm_restore",
+            f"replica{replica.replica_id}:e{snap.epoch}:{restored}",
+            time=now,
+        )
+
+    # -- operator-initiated fleet operations ---------------------------------
+    def _handle_fleet_op(self, op: FleetOp, now: float) -> None:
+        if op.kind == "drain":
+            targets = [op.replica_id]
+        else:  # rolling_restart drains one replica at a time, in id order
+            targets = [r.replica_id for r in self.replicas]
+        self._op_backlog.append({"op": op, "targets": targets, "current": None})
+        self._op_advance(now)
+
+    def _op_advance(self, now: float) -> None:
+        """Advance the single active fleet op's drain state machine."""
+        while True:
+            state = self._op_active
+            if state is None:
+                if not self._op_backlog:
+                    return
+                state = self._op_active = self._op_backlog.pop(0)
+            if state["current"] is None:
+                if not state["targets"]:
+                    if state["op"].kind == "rolling_restart":
+                        self.fault_counters.rolling_restarts += 1
+                    self._op_active = None
+                    continue
+                target_id = state["targets"].pop(0)
+                if target_id >= len(self.replicas):
+                    continue  # the op named a replica that never existed
+                state["current"] = target_id
+                self._begin_drain(self.replicas[target_id], now)
+            replica = self.replicas[state["current"]]
+            if self._drained(replica):
+                self._finish_drain(replica, now)
+                state["current"] = None
+                continue
+            self._push(
+                now + state["op"].poll_s, "op_check", None,
+                label=f"replica{state['current']}",
+            )
+            return
+
+    def _begin_drain(self, replica: Replica, now: float) -> None:
+        replica.draining = True
+        self.kernel.mark("drain_begin", f"replica{replica.replica_id}", time=now)
+        # Queued (not yet admitted) work re-routes to the rest of the
+        # fleet immediately; admitted work finishes in place — a graceful
+        # drain never discards live progress and never drops a request.
+        for rid in list(replica.engine.waiting):
+            record = replica.cancel(rid)
+            if record is None:
+                continue
+            self._location.pop(rid, None)
+            deadline = self._timeout_events.pop(rid, None)
+            if deadline is not None:
+                self.kernel.cancel(deadline)
+            if record.prefilled or record.generated:
+                # A queued record can carry migrated-in progress; that KV
+                # dies with the re-route and is charged as recovery waste.
+                record.reset_for_recovery(0, 0)
+            self._push(now, "requeue", record, label=f"r{rid}:drain")
+
+    def _drained(self, replica: Replica) -> bool:
+        return (
+            not replica.crashed
+            and not replica.engine.busy
+            and not replica.engine.migrating
+            and not replica.engine.handoff_ready
+        )
+
+    def _finish_drain(self, replica: Replica, now: float) -> None:
+        self.kernel.mark("drain_done", f"replica{replica.replica_id}", time=now)
+        # The restart itself: the engine is empty by construction, so it
+        # reduces to clearing any stall and rejoining the dispatchable
+        # set with the clock caught up over the (instant) restart.
+        replica.engine.time_scale = 1.0
+        replica.advance_to(now)
+        replica.draining = False
+        self.fault_counters.drains += 1
+        self.kernel.mark("rejoin", f"replica{replica.replica_id}", time=now)
 
     # -- KV migration (disaggregated mode; see repro.migrate) ----------------
     @property
@@ -788,6 +1109,8 @@ class ClusterSimulator:
             if record.prefill_done_at is not None:
                 record.handoff_latency = now - record.prefill_done_at
             self._location[rid] = target
+            if self.config.recover is not None:
+                self._rstate(target).wal.append("submit", rid, now)
             self.kernel.mark(
                 "handoff_done", f"r{rid}->replica{target.replica_id}", time=now
             )
@@ -801,6 +1124,12 @@ class ClusterSimulator:
             )
             self._inflight[rid] = ev
         else:  # REJECT — terminal inside the target's records
+            # The source's real prefill work dies with the rejection:
+            # charge it to the record's waste counters before the source
+            # releases the pinned KV, or it silently vanishes from the
+            # wasted-token accounting.
+            record.wasted_prefill_tokens += record.prefilled
+            record.wasted_decode_tokens += record.generated
             source.engine.release_migrated(rid)
             self._location.pop(rid, None)
             deadline = self._timeout_events.pop(rid, None)
@@ -822,6 +1151,13 @@ class ClusterSimulator:
                     event.time, "fault", event,
                     label=f"{event.kind}#{event.salt}",
                 )
+        if self.config.recover is not None and arrivals:
+            for replica in self.replicas:
+                self._schedule_snapshot(
+                    replica, self.config.recover.snapshot_interval_s
+                )
+        for op in self.config.ops:
+            self._push(op.time, "fleet_op", op, label=op.kind)
 
         # Event loop and drain are one cycle: handling an event (or a
         # drain round) can surface prefill-complete requests whose
@@ -874,6 +1210,16 @@ class ClusterSimulator:
                     self._handle_migrate_arrive(fired, t)
                 elif kind == "migrate_retry":
                     self._handle_migrate_retry(fired, t)
+                elif kind == "warm_restart":
+                    self._handle_warm_restart(payload, t)
+                elif kind == "snapshot":
+                    self._handle_snapshot(payload, t)
+                elif kind == "fleet_op":
+                    self._handle_fleet_op(payload, t)
+                elif kind == "op_check":
+                    self._op_advance(t)
+                elif kind == "requeue":
+                    self._dispatch(payload, t, gate=False)
                 self._collect_handoffs(t)
             if fired_any:
                 continue
@@ -907,6 +1253,14 @@ class ClusterSimulator:
 
         worked = [r for r in self.replicas if r.records]
         makespan = max((r.clock for r in worked), default=0.0)
+        if self._downtime_windows:
+            # Clip each crash's downtime window to the observed makespan:
+            # a crash near the end of a run schedules recovery past the
+            # point the run stopped observing, and those phantom
+            # replica-seconds must not be charged against availability.
+            self.fault_counters.downtime_s = downtime_within(
+                self._downtime_windows, makespan
+            )
         records_by_replica = {
             r.replica_id: list(r.records.values()) for r in self.replicas
         }

@@ -30,6 +30,7 @@ checksums to verify, but get full geometry/value validation.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -57,6 +58,7 @@ __all__ = [
     "salvage_state",
     "save_state",
     "load_state",
+    "state_digest",
 ]
 
 #: Current on-disk schema.  v1 (implicit, tagless) lacked checksums and
@@ -501,6 +503,25 @@ def salvage_state(arrays: Dict[str, np.ndarray]) -> SalvageResult:
         recompute_ranges=recompute,
         errors=result_errors,
     )
+
+
+def state_digest(arrays: Dict[str, np.ndarray]) -> str:
+    """Stable blake2b digest of a serialized state dict.
+
+    Key-order independent (keys are walked sorted) and covers dtype,
+    shape, and payload bytes of every array, so two dicts digest equal
+    iff the persisted bytes would be equal.  Checkpointing
+    (:mod:`repro.recover`) uses this as the snapshot identity a restart
+    verifies before trusting the state.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for key in sorted(arrays):
+        arr = np.ascontiguousarray(np.asarray(arrays[key]))
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(np.asarray(arr.shape, dtype=np.int64).tobytes())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def save_state(path, state: TurboKVState, checksums: bool = True) -> None:

@@ -1,0 +1,249 @@
+"""Checkpointing / warm-restart extension experiment: compression makes
+aggressive checkpointing affordable, and checkpoints turn crashes from
+re-prefill storms into bounded recompute.
+
+The baseline fleet recovers from a crash the only way a stateless
+gateway can: every evicted request is re-dispatched and re-prefilled
+from token zero.  With :mod:`repro.recover` enabled, each replica takes
+periodic crash-consistent snapshots (request progress + a
+checksum-verified KV payload through the real
+:mod:`repro.core.serialization` schema) and appends post-snapshot
+lifecycle marks to a write-ahead log; a warm restart loads the newest
+usable epoch (salvaging corrupt ones to their longest valid prefix,
+degrading to the previous epoch, then to cold start — never losing a
+request) and resumes every held request at an exact ``[valid,
+prompt_len)`` recompute range.
+
+Two headline claims, both measured under an *identical* seeded crash
+schedule:
+
+* warm restart strictly reduces wasted tokens **and** p99 TTFT versus
+  cold retry — the recompute range does the work a full re-prefill did;
+* the snapshot itself is ~4x cheaper to persist on the compressed cache
+  (bytes scale with ``kv_bits``: 4.3-bit turbo4 vs FP16), which is what
+  makes short snapshot intervals viable in the first place.
+
+A third set of cells exercises the operator surface: graceful drain and
+rolling restart complete with zero dropped and zero failed requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterMetrics,
+    ClusterSimulator,
+    FaultConfig,
+)
+from repro.harness.common import render_table
+from repro.perf.attention_costs import METHODS
+from repro.perf.e2e import ModelGeometry
+from repro.recover import FleetOp, RecoverConfig
+from repro.serving.engine import EngineConfig
+from repro.serving.workload import ramp_workload
+
+__all__ = ["run", "main", "FAULT_SCHEDULE", "RECOVER", "RECOVER_CORRUPT"]
+
+N_REPLICAS = 2
+PREFILL_CHUNK = 256
+
+#: Crash-heavy schedule: short downtimes so the restart cost (not the
+#: outage itself) dominates, no TTFT deadline so the waste comparison is
+#: pure re-prefill vs recompute-range.
+FAULT_SCHEDULE = FaultConfig(
+    seed=7,
+    crash_rate=0.04,
+    crash_downtime_s=4.0,
+    max_retries=5,
+    horizon_pad_s=10.0,
+)
+
+RECOVER = RecoverConfig(snapshot_interval_s=1.5, keep_epochs=2, seed=11)
+#: At-rest corruption cell: most epochs damaged, exercising the full
+#: salvage -> previous-epoch -> cold-start ladder.
+RECOVER_CORRUPT = RecoverConfig(
+    snapshot_interval_s=1.5, keep_epochs=2, seed=11, corrupt_rate=0.6
+)
+
+#: Operator schedule for the clean fleet-ops cell: one targeted drain,
+#: then a full rolling restart while traffic keeps flowing.
+FLEET_OPS = (
+    FleetOp(time=5.0, kind="drain", replica_id=1),
+    FleetOp(time=12.0, kind="rolling_restart"),
+)
+
+
+@dataclass
+class RecoverCell:
+    method: str
+    run_kind: str  # "cold" | "warm" | "warm/corrupt" | "ops"
+    metrics: ClusterMetrics
+
+
+def _workload(quick: bool) -> list:
+    scale = 0.5 if quick else 1.0
+    return ramp_workload(
+        [(0.8, 15.0 * scale), (1.6, 25.0 * scale), (0.8, 15.0 * scale)],
+        prompt_range=(3072, 6144),
+        gen_range=(192, 384),
+        rng=np.random.default_rng(21),
+    )
+
+
+def _simulate(
+    method: str,
+    requests: list,
+    faults: Optional[FaultConfig] = FAULT_SCHEDULE,
+    recover: Optional[RecoverConfig] = None,
+    ops: Tuple[FleetOp, ...] = (),
+    n_replicas: int = N_REPLICAS,
+) -> ClusterMetrics:
+    config = ClusterConfig(
+        n_replicas=n_replicas,
+        policy="least_kv",
+        engine=EngineConfig(prefill_chunk=PREFILL_CHUNK),
+        faults=faults,
+        recover=recover,
+        ops=ops,
+    )
+    model = ModelGeometry.phi3_medium()
+    return ClusterSimulator(model, METHODS[method], config).run(requests)
+
+
+def run(quick: bool = False) -> List[RecoverCell]:
+    requests = _workload(quick)
+    cells = [
+        RecoverCell("turbo4", "cold", _simulate("turbo4", requests)),
+        RecoverCell(
+            "turbo4", "warm", _simulate("turbo4", requests, recover=RECOVER)
+        ),
+        RecoverCell(
+            "fp16", "warm", _simulate("fp16", requests, recover=RECOVER)
+        ),
+        RecoverCell(
+            "turbo4",
+            "warm/corrupt",
+            _simulate("turbo4", requests, recover=RECOVER_CORRUPT),
+        ),
+        RecoverCell(
+            "turbo4",
+            "ops",
+            _simulate(
+                "turbo4", requests, faults=None, recover=RECOVER,
+                ops=FLEET_OPS, n_replicas=3,
+            ),
+        ),
+    ]
+    return cells
+
+
+def _find(cells: List[RecoverCell], method: str, run_kind: str) -> RecoverCell:
+    for c in cells:
+        if (c.method, c.run_kind) == (method, run_kind):
+            return c
+    raise KeyError((method, run_kind))
+
+
+def _wasted(m: ClusterMetrics) -> int:
+    return m.wasted_prefill_tokens + m.wasted_decode_tokens
+
+
+def main(quick: bool = False) -> str:
+    cells = run(quick=quick)
+    rows = [
+        [
+            c.method,
+            c.run_kind,
+            c.metrics.completed,
+            c.metrics.failed,
+            f"{c.metrics.p50_ttft:.2f}",
+            f"{c.metrics.p99_ttft:.2f}",
+            _wasted(c.metrics),
+            c.metrics.crashes,
+            c.metrics.snapshots_taken,
+            f"{c.metrics.snapshot_bytes / 2**30:.1f}",
+            c.metrics.recovered_requests,
+            c.metrics.restored_prefill_tokens
+            + c.metrics.restored_decode_tokens,
+            c.metrics.snapshot_corruptions,
+            c.metrics.snapshot_salvages,
+            c.metrics.drains,
+            f"{c.metrics.availability * 100:.1f}%",
+        ]
+        for c in cells
+    ]
+    table = render_table(
+        [
+            "method", "run", "done", "failed", "p50 TTFT", "p99 TTFT",
+            "wasted tok", "crashes", "snaps", "snap GiB", "recovered",
+            "restored tok", "corrupt", "salvaged", "drains", "avail",
+        ],
+        rows,
+        title=(
+            f"Checkpointing & warm restart ({N_REPLICAS} replicas, "
+            f"Phi3-medium, chunk={PREFILL_CHUNK}): crash schedule "
+            f"seed={FAULT_SCHEDULE.seed} rate={FAULT_SCHEDULE.crash_rate}/s "
+            f"downtime={FAULT_SCHEDULE.crash_downtime_s}s, snapshots every "
+            f"{RECOVER.snapshot_interval_s}s"
+        ),
+    )
+
+    cold = _find(cells, "turbo4", "cold")
+    warm = _find(cells, "turbo4", "warm")
+    fp16 = _find(cells, "fp16", "warm")
+    corrupt = _find(cells, "turbo4", "warm/corrupt")
+    ops = _find(cells, "turbo4", "ops")
+    snap_ratio = (
+        fp16.metrics.snapshot_bytes / warm.metrics.snapshot_bytes
+        if warm.metrics.snapshot_bytes
+        else float("inf")
+    )
+    per_token_ratio = 16.0 / METHODS["turbo4"].kv_bits
+    checks = [
+        (
+            "warm restart wastes fewer tokens than cold retry under the "
+            f"same crashes: {_wasted(warm.metrics)} vs {_wasted(cold.metrics)} "
+            f"({'OK' if _wasted(warm.metrics) < _wasted(cold.metrics) else 'VIOLATED'})"
+        ),
+        (
+            "warm restart wins p99 TTFT under the same crashes: "
+            f"{warm.metrics.p99_ttft:.2f}s vs {cold.metrics.p99_ttft:.2f}s "
+            f"({'OK' if warm.metrics.p99_ttft < cold.metrics.p99_ttft else 'VIOLATED'})"
+        ),
+        (
+            "compression pays for the checkpoints: turbo4 persists "
+            f"{per_token_ratio:.2f}x fewer bytes per cached token than fp16 "
+            f"(measured totals {snap_ratio:.2f}x cheaper) "
+            f"({'OK' if snap_ratio > 2.0 else 'VIOLATED'})"
+        ),
+        (
+            "the recovery ladder degrades, never loses: corrupt-at-rest run "
+            f"hit {corrupt.metrics.snapshot_corruptions} corrupt epochs, "
+            f"salvaged {corrupt.metrics.snapshot_salvages}, failed "
+            f"{corrupt.metrics.failed} "
+            f"({'OK' if corrupt.metrics.snapshot_corruptions > 0 else 'VIOLATED'})"
+        ),
+        (
+            "fleet ops drop nothing: drain + rolling restart completed "
+            f"{ops.metrics.completed}/{ops.metrics.total} with "
+            f"{ops.metrics.failed} failures, {ops.metrics.drains} drains, "
+            f"{ops.metrics.rolling_restarts} rolling restart "
+            f"({'OK' if ops.metrics.failed == 0 and ops.metrics.drains >= 4 and ops.metrics.rolling_restarts == 1 else 'VIOLATED'})"
+        ),
+        (
+            "conservation: every cell terminates all requests exactly once "
+            f"({'OK' if all(c.metrics.completed + c.metrics.failed + c.metrics.rejected + c.metrics.shed == c.metrics.total for c in cells) else 'VIOLATED'})"
+        ),
+    ]
+    text = table + "\nChecks:\n" + "\n".join(f"  - {c}" for c in checks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ from repro.harness import (
     needle,
     overload,
     prefix,
+    recover,
     serving_sim,
     fig1,
     fig4,
@@ -53,6 +54,7 @@ RUNNERS = {
     "cluster": cluster,
     "faults": faults,
     "disagg": disagg,
+    "recover": recover,
     "overload": overload,
     "prefix": prefix,
     "guard": guard,

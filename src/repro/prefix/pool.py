@@ -205,6 +205,19 @@ class PrefixPool:
     def referenced_blocks(self) -> int:
         return sum(1 for b in self._blocks.values() if b.holders)
 
+    def refcount_snapshot(self) -> Dict[str, int]:
+        """Frozen ``{block key -> refcount}`` view, sorted by key.
+
+        The prefix-pool component of a crash-consistent engine snapshot
+        (:mod:`repro.recover`).  Counts only: sharing is content-
+        addressed, so a restart rebuilds the structure as restored
+        requests re-reference their chains; the counts are the audit
+        record of what was resident when the checkpoint ran.
+        """
+        return {
+            key: self._blocks[key].refcount for key in sorted(self._blocks)
+        }
+
     def _plan(self, record: "RequestRecord") -> Tuple[List[str], int]:
         """(chain keys, tail tokens) the record's prompt can share."""
         req = record.request

@@ -1,0 +1,43 @@
+"""Operator-initiated fleet operations (drains and rolling restarts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FleetOp"]
+
+_KINDS = ("drain", "rolling_restart")
+
+
+@dataclass(frozen=True)
+class FleetOp:
+    """One scheduled fleet operation.
+
+    ``drain`` gracefully empties one replica: it stops accepting
+    dispatches, its queued (not-yet-admitted) work is re-routed to the
+    rest of the fleet at zero cost, residents finish or migrate out,
+    then the replica restarts clean and rejoins.  ``rolling_restart``
+    drains every replica this way, one at a time in id order, so the
+    fleet never loses more than one member's capacity at once.  Both
+    drop zero requests by construction — the conservation invariant the
+    harness asserts across every ops cell.
+    """
+
+    #: Cluster time the operation begins.
+    time: float
+    kind: str  # "drain" | "rolling_restart"
+    #: Target replica for ``drain`` (ignored by ``rolling_restart``).
+    replica_id: int = 0
+    #: How often the operator re-checks whether the current replica has
+    #: finished emptying.
+    poll_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+        if self.replica_id < 0:
+            raise ValueError("replica_id must be non-negative")
+        if self.poll_s <= 0:
+            raise ValueError("poll_s must be positive")

@@ -1,0 +1,94 @@
+"""Write-ahead log of post-snapshot request lifecycle marks.
+
+The snapshot captures a replica's state *as of* one instant; requests
+dispatched to the replica after that instant exist nowhere in it.  The
+WAL closes that window: every admission onto the replica (dispatch,
+migrate-in acceptance, restore re-entry) appends one mark *before* the
+engine mutates, and the log truncates at each new snapshot — so
+``snapshot + WAL`` is always the complete set of requests the replica
+holds, and warm restart replays the WAL'd tail as cold re-entries
+(their KV was never checkpointed) while snapshot members resume at
+their checkpointed progress.
+
+Entries reuse the :mod:`repro.sim.trace` record schema verbatim —
+``{i, clock, action, ev, t, label}`` — so a WAL is digestible and
+diffable with exactly the tooling the trace layer already has
+(:func:`repro.sim.trace.trace_digest`, ``python -m repro trace-diff``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.sim.trace import Record, trace_digest
+
+__all__ = ["WriteAheadLog"]
+
+
+class WriteAheadLog:
+    """Per-replica append-only log, truncated at each snapshot epoch."""
+
+    def __init__(self, clock: str):
+        #: Stamped on every record, like a scheduler's trace clock name.
+        self.clock = clock
+        self._records: List[Record] = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[Record]:
+        """The live entries (snapshot-epoch-relative), oldest first."""
+        return list(self._records)
+
+    def append(self, ev: str, rid: int, t: float) -> Record:
+        """Log one lifecycle mark (``ev`` e.g. ``"submit"``) for ``rid``."""
+        record: Record = {
+            "i": self._next,
+            "clock": self.clock,
+            "action": "mark",
+            "ev": ev,
+            "t": float(t),
+            "label": f"r{rid}",
+        }
+        self._next += 1
+        self._records.append(record)
+        return record
+
+    def truncate(self) -> int:
+        """A new snapshot epoch supersedes the log; returns entries dropped.
+
+        The global sequence keeps counting across truncations so two
+        appends never share an ``i`` — digests of successive windows stay
+        distinct even for identical content.
+        """
+        dropped = len(self._records)
+        self._records.clear()
+        return dropped
+
+    def request_ids(self, ev: str = "submit") -> List[int]:
+        """Request ids carried by ``ev`` entries, oldest first, deduped."""
+        seen: Set[int] = set()
+        out: List[int] = []
+        for record in self._records:
+            if record["ev"] != ev:
+                continue
+            rid = int(record["label"][1:])
+            if rid not in seen:
+                seen.add(rid)
+                out.append(rid)
+        return out
+
+    def replay_plan(self, snapshot_rids: Set[int]) -> Dict[int, str]:
+        """Classify logged requests for restart: ``"warm"`` if the last
+        snapshot holds checkpointed KV for them, ``"cold"`` otherwise
+        (post-snapshot arrivals whose progress was never persisted)."""
+        return {
+            rid: ("warm" if rid in snapshot_rids else "cold")
+            for rid in self.request_ids()
+        }
+
+    def digest(self) -> str:
+        """blake2b over the canonical live entries (trace tooling)."""
+        return trace_digest(self._records)

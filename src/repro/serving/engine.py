@@ -107,6 +107,9 @@ ENGINE_EVENT_ORDER = {
     "prefill_ready": 20,
     "migrate_out": 21,
     "local_decode": 22,
+    # warm-restart re-entry (see repro.recover); append-only — existing
+    # order-class values are frozen by the golden trace fixtures.
+    "restore": 23,
 }
 
 
@@ -452,12 +455,17 @@ class ServingEngine:
 
         Records of finished requests stay (history survives a process
         restart in the operator's logs); everything in flight is returned,
-        oldest admission first, for the caller to re-dispatch.
+        oldest admission first, for the caller to re-dispatch.  Processed
+        tokens are charged to the cancelled-waste counters exactly like
+        :meth:`cancel` — MIGRATING requests included — so an engine's own
+        books never lose the work a departing record burned here.
         """
         evicted: List[RequestRecord] = []
         for rid in list(self.running) + list(self.waiting) + list(self.migrating):
-            self._release_request(rid)
             record = self.records.pop(rid)
+            self.cancelled_wasted_prefill_tokens += record.prefilled
+            self.cancelled_wasted_decode_tokens += record.generated
+            self._release_request(rid)
             self.columns.unbind(record)
             evicted.append(record)
             self._mark("evict", f"r{rid}")
@@ -516,6 +524,70 @@ class ServingEngine:
         self.running.append(request_id)
         self._mark("local_decode", f"r{request_id}")
         return rec
+
+    # -- warm-restart re-entry (see repro.recover) ----------------------------
+    def restore_record(self, record: RequestRecord) -> bool:
+        """Re-enter a warm-restarted request at its checkpointed progress.
+
+        Differs from :meth:`submit_record` on purpose: admission control
+        is bypassed (the work was admitted before the crash — re-gating
+        could terminally reject already-paid-for work) and the KV for the
+        checkpointed context is reserved up front, mirroring what loading
+        the persisted cache blocks would occupy.  ``record.prefilled``
+        below the prompt length *is* the recompute range — the engine's
+        prefill path charges only ``[prefilled, prompt_len)``.
+
+        Returns True when the request resumed warm.  False means the
+        reservation failed (restored contexts lose their prefix sharing)
+        or nothing was checkpointed: the request re-enters cold at the
+        queue tail with its progress charged as waste — degraded, never
+        lost.
+        """
+        rid = record.request.request_id
+        if rid in self.records:
+            raise ValueError(f"duplicate request_id {rid}")
+        if record.kv_bits is None:
+            record.kv_bits = (
+                self.brownout.bits_for(self.method)
+                if self.brownout is not None
+                else self.method.kv_bits
+            )
+        self.records[rid] = record
+        self.columns.bind(record)
+        ctx = record.prefilled + record.generated
+        prompt_len = record.request.prompt_len
+        if ctx > 0 and self._grow(
+            rid, max(prompt_len, ctx), self._bytes_scale(record)
+        ):
+            record.admitted_at = self.clock
+            if record.prefilled >= prompt_len:
+                if self.config.prefill_only and not record.local_decode:
+                    # Prefill-pool member: the checkpoint caught this
+                    # request between prefill and handoff — re-park it
+                    # for the cluster to ship.
+                    record.status = RequestStatus.MIGRATING
+                    record.prefill_done_at = self.clock
+                    self.migrating[rid] = record
+                    self.handoff_ready.append(rid)
+                else:
+                    record.status = RequestStatus.RUNNING
+                    self.running.append(rid)
+            else:
+                record.status = RequestStatus.PREFILLING
+                self.running.append(rid)
+            self.peak_running = max(self.peak_running, len(self.running))
+            self._mark("restore", f"r{rid}")
+            return True
+        # Cold re-entry: charge whatever the checkpoint claimed to save.
+        record.wasted_prefill_tokens += record.prefilled
+        record.wasted_decode_tokens += record.generated
+        record.prefilled = 0
+        record.generated = 0
+        record.first_token_at = None
+        record.status = RequestStatus.WAITING
+        self.waiting.append(rid)
+        self._mark("restore", f"r{rid}:cold")
+        return False
 
     @property
     def migration_blocked(self) -> bool:

@@ -107,6 +107,11 @@ class RequestRecord:
     #: Fault-recovery dispatches: incremented every time the request is
     #: pulled off a replica (crash, timeout) and sent back to the router.
     retries: int = 0
+    #: Warm recoveries: times the request was resumed from a replica
+    #: checkpoint after a crash/restart (see :mod:`repro.recover`).
+    #: Unlike ``retries``, a recovery keeps checkpointed progress and
+    #: never consumes the retry budget.
+    recoveries: int = 0
     #: Cluster time the retry budget ran out (status FAILED).
     failed_at: Optional[float] = None
     #: Prompt tokens whose prefill work was thrown away by fault evictions
@@ -214,6 +219,35 @@ class RequestRecord:
         self.shared_tail_tokens = 0
         self.prefill_done_at = None
         self.retries += 1
+
+    def reset_for_recovery(
+        self,
+        prefilled: int,
+        generated: int,
+        first_token_at: Optional[float] = None,
+    ) -> None:
+        """Warm restart: resume from checkpointed progress.
+
+        Unlike :meth:`reset_for_retry`, only the progress *beyond* what
+        the checkpoint preserved is charged as waste, and no retry is
+        consumed — the request never left its replica's fault domain, it
+        came back with most of its work intact.  The clamp to zero
+        covers a checkpoint older than a previous rollback (progress can
+        only ever be re-lost once).
+        """
+        if prefilled < 0 or generated < 0:
+            raise ValueError("recovered progress must be non-negative")
+        self.wasted_prefill_tokens += max(0, self.prefilled - prefilled)
+        self.wasted_decode_tokens += max(0, self.generated - generated)
+        self.status = RequestStatus.WAITING
+        self.prefilled = prefilled
+        self.generated = generated
+        self.admitted_at = None
+        self.first_token_at = first_token_at if generated > 0 else None
+        self.shared_tokens = 0
+        self.shared_tail_tokens = 0
+        self.prefill_done_at = None
+        self.recoveries += 1
 
     def mark_failed(self, now: float) -> None:
         """Terminal failure after the retry budget is exhausted."""

@@ -23,7 +23,7 @@ from repro.migrate import MigrationConfig
 from repro.overload import AdmissionConfig
 from repro.perf.attention_costs import METHODS
 from repro.perf.e2e import ModelGeometry
-from repro.serving import EngineConfig, poisson_workload
+from repro.serving import EngineConfig, Request, poisson_workload
 from repro.serving.request import RequestStatus
 from repro.sim import ListTraceSink, diff_traces, format_diff, trace_digest
 
@@ -240,6 +240,39 @@ class TestMigrationOutcomes:
         assert m.completed == len(wl)
         assert m.migration_drops == len(wl)
         assert m.local_decode_fallbacks == len(wl)
+
+    def test_rejected_handoff_charges_record_waste(self, model):
+        """A terminal REJECT at the decode pool must not vanish the
+        source's real prefill work from the record's waste counters."""
+        from repro.overload.admission import AdmissionVerdict
+
+        sim = _sim(model, ClusterConfig(
+            disagg=DisaggConfig(n_prefill=1, n_decode=1),
+        ))
+        source = sim.replicas[0]
+        source.submit(Request(0, 0.0, 512, 16))
+        while not source.engine.migrating:
+            source.step()
+        record = source.engine.migrating[0]
+        assert record.prefilled == 512
+
+        class RejectingTarget:
+            replica_id = 1
+            dispatchable = True
+
+            def submit_record(self, rec):
+                rec.status = RequestStatus.REJECTED
+                return AdmissionVerdict.REJECT
+
+        ev = sim.kernel.schedule(
+            1.0, "migrate_arrive",
+            (record, source, RejectingTarget(), False), label="r0",
+        )
+        sim._inflight[0] = ev
+        assert sim.kernel.pop() is ev
+        sim._handle_migrate_arrive(ev, 1.0)
+        assert record.wasted_prefill_tokens == 512
+        assert 0 not in source.engine.migrating  # source KV released
 
 
 class TestPoolAutoscaling:

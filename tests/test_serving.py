@@ -175,6 +175,51 @@ class TestEngine:
         assert a.as_dict() == b.as_dict()
 
 
+class TestCancelEvictAccounting:
+    """cancel/evict_unfinished charge processed tokens to the engine's
+    cancelled-waste counters for every live state — MIGRATING included."""
+
+    def _migrating_engine(self, model):
+        engine = ServingEngine(
+            model, METHODS["turbo_mixed"], EngineConfig(prefill_only=True)
+        )
+        engine.submit(Request(0, 0.0, 512, 32))
+        while not engine.migrating:
+            engine.step()
+        return engine
+
+    def test_cancel_charges_migrating_prefill(self, model):
+        engine = self._migrating_engine(model)
+        rec = engine.records[0]
+        assert rec.status is RequestStatus.MIGRATING and rec.prefilled == 512
+        assert engine.cancel(0) is rec
+        assert engine.cancelled_wasted_prefill_tokens == 512
+        assert not engine.migrating and not engine.records
+
+    def test_evict_charges_migrating_prefill(self, model):
+        engine = self._migrating_engine(model)
+        evicted = engine.evict_unfinished()
+        assert [rec.request.request_id for rec in evicted] == [0]
+        assert engine.cancelled_wasted_prefill_tokens == 512
+        assert not engine.migrating and not engine.records
+
+    def test_evict_charges_running_and_queued(self, model):
+        engine = ServingEngine(model, METHODS["turbo_mixed"], EngineConfig())
+        engine.submit(Request(0, 0.0, 512, 32))
+        engine.submit(Request(1, 0.0, 512, 32))
+        while engine.records[0].generated < 3:
+            engine.step()
+        processed = sum(
+            rec.prefilled + rec.generated for rec in engine.records.values()
+        )
+        engine.evict_unfinished()
+        assert (
+            engine.cancelled_wasted_prefill_tokens
+            + engine.cancelled_wasted_decode_tokens
+            == processed
+        )
+
+
 class TestPreemption:
     """OOM-driven preemption: victim selection, requeue-at-front, and
     self-preemption when no other victim exists.
